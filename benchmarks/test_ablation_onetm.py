@@ -1,0 +1,60 @@
+"""Ablation A: OneTM's serialized overflow vs TokenTM's concurrency.
+
+Section 2.2 argues (via Amdahl's law) that allowing only one
+unbounded transaction at a time becomes a bottleneck as transactions
+scale up.  This ablation runs workloads whose transactions routinely
+overflow the L1 — Vacation and Delaunay — on OneTM and TokenTM and
+shows the serialization penalty, then confirms both behave the same
+on a small-transaction workload (Cholesky).
+"""
+
+from repro.analysis.tables import format_table
+
+from benchmarks.conftest import cached_cell, emit
+
+LARGE = ("Delaunay", "Vacation-Low", "Vacation-High")
+
+
+def _run(cell_cache, workloads):
+    rows = {}
+    for name in LARGE + ("Cholesky",):
+        token = cached_cell(cell_cache, workloads, name, "TokenTM")
+        onetm = cached_cell(cell_cache, workloads, name, "OneTM")
+        rows[name] = (token, onetm)
+    return rows
+
+
+def test_ablation_onetm_serialization(benchmark, capsys, cell_cache,
+                                      workloads):
+    rows = benchmark.pedantic(_run, args=(cell_cache, workloads),
+                              rounds=1, iterations=1)
+    table = []
+    for name, (token, onetm) in rows.items():
+        table.append((
+            name,
+            token.stats.makespan,
+            onetm.stats.makespan,
+            round(onetm.stats.makespan / max(1, token.stats.makespan), 2),
+            onetm.stats.machine["overflow_serializations"],
+        ))
+    emit(capsys, format_table(
+        ["Workload", "TokenTM cycles", "OneTM cycles",
+         "OneTM/TokenTM", "Overflow events"],
+        table,
+        title="Ablation A. Serialized overflow (OneTM) vs "
+              "concurrent large transactions (TokenTM)",
+    ))
+
+    # Large-transaction workloads overflow constantly on OneTM...
+    for name in LARGE:
+        _, onetm = rows[name]
+        assert onetm.stats.machine["overflow_serializations"] > 0, name
+    # ...and at least one pays a clear serialization penalty.
+    worst = max(rows[n][1].stats.makespan / rows[n][0].stats.makespan
+                for n in LARGE)
+    assert worst > 1.3, f"OneTM penalty only {worst:.2f}x"
+
+    # Small transactions stay bounded: no penalty on Cholesky.
+    token, onetm = rows["Cholesky"]
+    ratio = onetm.stats.makespan / token.stats.makespan
+    assert 0.7 < ratio < 1.4

@@ -1,0 +1,105 @@
+"""Tables 3(a)/3(b): Metastate Fission and Fusion rules.
+
+Prints both rule tables as derived from the implementation and
+micro-benchmarks the fission/fusion operations (they run on every
+coherence data movement touching transactional blocks).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.common.errors import MetastateError
+from repro.core.fission import fission, fission_table, fuse
+from repro.core.metastate import META_ZERO, Meta
+
+from benchmarks.conftest import emit
+
+T = 1 << 14
+
+
+def _fusion_rows():
+    """The 3x3 cross product of Table 3(b), symbolically labelled."""
+    u, v = 3, 2
+    x, y = 0, 1
+    cases = {
+        "(v, -)": Meta(v, None),
+        "(1, X)": Meta(1, x),
+        "(T, X)": Meta(T, x),
+    }
+    columns = {
+        "(u, -)": Meta(u, None),
+        "(1, Y)": Meta(1, y),
+        "(T, Y)": Meta(T, y),
+    }
+
+    def label(meta):
+        if meta.total == T:
+            return f"(T, {'X' if meta.tid == x else 'Y'})"
+        if meta.total == 1 and meta.tid is not None:
+            return f"(1, {'X' if meta.tid == x else 'Y'})"
+        return f"({meta.total}, -)"
+
+    rows = []
+    for row_name, row_meta in cases.items():
+        cells = [row_name]
+        for col_meta in columns.values():
+            try:
+                cells.append(label(fuse(row_meta, col_meta, T)))
+            except MetastateError:
+                cells.append("error")
+        rows.append(tuple(cells))
+    return rows
+
+
+def test_table3a_fission(benchmark, capsys):
+    rows = fission_table(T)
+    emit(capsys, format_table(
+        ["Before", "After", "New Copy"], rows,
+        title="Table 3(a). Metastate (Sum, TID) Fission",
+    ))
+    assert rows == (
+        ("(u, -)", "(u, -)", "(0, -)"),
+        ("(1, X)", "(1, X)", "(0, -)"),
+        ("(T, X)", "(T, X)", "(T, X)"),
+    )
+
+    def fission_all():
+        out = []
+        for meta in (Meta(3, None), Meta(1, 5), Meta(T, 5), META_ZERO):
+            out.append(fission(meta, T))
+        return out
+
+    results = benchmark(fission_all)
+    assert len(results) == 4
+
+
+def test_table3b_fusion(benchmark, capsys):
+    rows = _fusion_rows()
+    emit(capsys, format_table(
+        ["Copy 1", "(u, -)", "(1, Y)", "(T, Y)"], rows,
+        title="Table 3(b). Metastate (Sum, TID) Fusion",
+    ))
+    assert rows == [
+        ("(v, -)", "(5, -)", "(3, -)", "error"),
+        ("(1, X)", "(4, -)", "(2, -)", "error"),
+        ("(T, X)", "error", "error", "error"),
+    ]
+    # The v=0 / u=0 special cases the paper's table carries inline:
+    assert fuse(META_ZERO, Meta(1, 1), T) == Meta(1, 1)
+    assert fuse(META_ZERO, Meta(T, 1), T) == Meta(T, 1)
+    assert fuse(Meta(1, 0), META_ZERO, T) == Meta(1, 0)
+    assert fuse(Meta(T, 0), META_ZERO, T) == Meta(T, 0)
+    assert fuse(Meta(T, 0), Meta(T, 0), T) == Meta(T, 0)
+    with pytest.raises(MetastateError):
+        fuse(Meta(T, 0), Meta(T, 1), T)
+
+    def fuse_legal():
+        acc = 0
+        for a, b in ((Meta(2, None), Meta(3, None)),
+                     (META_ZERO, Meta(1, 1)),
+                     (Meta(1, 0), Meta(1, 1)),
+                     (Meta(T, 0), Meta(T, 0))):
+            acc += fuse(a, b, T).total
+        return acc
+
+    assert benchmark(fuse_legal) > 0

@@ -1,0 +1,94 @@
+"""Tables 4(a)/4(b): metabit encodings in memory and in the L1.
+
+Prints both encoding tables from the implementation, checks the
+Section 4.3 ECC arithmetic, and micro-benchmarks encode/decode (they
+run on every metastate movement).
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.metabits import CacheMetabits
+from repro.core.metastate import META_ZERO, Meta
+from repro.mem.metabit_store import (
+    ATTR_BITS,
+    MetabitStore,
+    decode_memory_metabits,
+    encode_memory_metabits,
+)
+
+from benchmarks.conftest import emit
+
+T = 1 << 14
+X, Y = 3, 5  # X runs on this core; Y is any other thread
+
+
+def test_table4a_memory_encoding(benchmark, capsys):
+    cases = [("(u, -)", Meta(7, None)),
+             ("(1, X)", Meta(1, X)),
+             ("(T, X)", Meta(T, X))]
+    rows = []
+    for label, meta in cases:
+        bits = encode_memory_metabits(meta, T)
+        rows.append((label, f"{bits >> ATTR_BITS:02b}",
+                     "u" if meta.tid is None else "X"))
+        assert decode_memory_metabits(bits, T) == meta
+    emit(capsys, format_table(
+        ["Metastate (Sum, TID)", "State", "Attr"], rows,
+        title="Table 4(a). In-Memory Metastate (16 metabits)",
+    ))
+    assert [r[1] for r in rows] == ["00", "01", "10"]
+
+    report = MetabitStore.overhead_report()
+    emit(capsys,
+         "ECC recoding (Section 4.3): freed codeword bits = "
+         f"{report['freed_codeword_bits']:.0f}, metabits+check = "
+         f"{report['metabits_plus_check']:.0f}, fits = "
+         f"{bool(report['fits_in_recoded_ecc'])}; reserved-memory "
+         f"alternative overhead = "
+         f"{100 * report['reserved_memory_overhead']:.1f}%")
+    assert report["fits_in_recoded_ecc"] == 1.0
+
+    def round_trips():
+        acc = 0
+        for meta in (META_ZERO, Meta(1, X), Meta(42, None), Meta(T, Y)):
+            acc += decode_memory_metabits(
+                encode_memory_metabits(meta, T), T).total
+        return acc
+
+    assert benchmark(round_trips) > 0
+
+
+def test_table4b_cache_encoding(benchmark, capsys):
+    cases = [
+        ("(0, -)", META_ZERO),
+        ("(u, -)", Meta(7, None)),
+        ("(1, X)", Meta(1, X)),
+        ("(1, Y)", Meta(1, Y)),
+        ("(T, X)", Meta(T, X)),
+        ("(T, Y)", Meta(T, Y)),
+    ]
+    rows = []
+    for label, meta in cases:
+        mb = CacheMetabits.encode(meta, T, X)
+        r, w, rp, wp, rplus, attr = mb.state_tuple()
+        rows.append((label, r, w, rp, wp, rplus,
+                     "-" if meta.total == 0 else attr))
+        assert mb.logical(T, X) == meta
+    emit(capsys, format_table(
+        ["Metastate", "R", "W", "R'", "W'", "R+", "Attr"], rows,
+        title="Table 4(b). In-Cache Metastate (thread X on this core)",
+    ))
+    # The paper's bit assignments:
+    assert rows[2][1] == 1 and rows[2][3] == 0    # (1,X) -> R
+    assert rows[3][1] == 0 and rows[3][3] == 1    # (1,Y) -> R'
+    assert rows[4][2] == 1 and rows[4][4] == 0    # (T,X) -> W
+    assert rows[5][2] == 0 and rows[5][4] == 1    # (T,Y) -> W'
+    assert rows[1][5] == 1                        # (u,-) -> R+
+
+    def mark_and_clear():
+        mb = CacheMetabits()
+        mb.set_read(X)
+        mb.set_write(X)
+        mb.flash_clear()
+        return mb.is_clear()
+
+    assert benchmark(mark_and_clear)

@@ -1,0 +1,68 @@
+"""Table 5: Workload Parameters.
+
+Measures the synthetic workload generators and prints the measured
+transaction counts and read/write-set statistics alongside the
+paper's values.  Set statistics are measured on a 20% sample of each
+workload (they are i.i.d. across transactions); the transaction
+counts are the full Table 5 counts by construction.
+"""
+
+from repro.analysis.experiments import measure_table5
+from repro.analysis.tables import format_table
+
+from benchmarks.conftest import BENCH_SEED, emit
+
+#: The paper's Table 5.
+PAPER = {
+    "Barnes": (2_553, 6.1, 4.2, 42, 39),
+    "Cholesky": (60_203, 2.4, 1.7, 6, 4),
+    "Radiosity": (21_786, 1.8, 1.5, 25, 24),
+    "Raytrace": (47_783, 5.1, 2.0, 594, 4),
+    "Delaunay": (16_384, 51.4, 38.8, 507, 345),
+    "Genome": (100_115, 14.5, 2.1, 768, 18),
+    "Vacation-Low": (16_399, 70.7, 18.1, 162, 75),
+    "Vacation-High": (16_399, 99.1, 18.6, 331, 80),
+}
+
+SAMPLE_SCALE = 0.2
+
+
+def _measure(workloads):
+    return {name: measure_table5(workloads[name], seed=BENCH_SEED,
+                                 scale=SAMPLE_SCALE)
+            for name in PAPER}
+
+
+def test_table5_workloads(benchmark, capsys, workloads):
+    rows = benchmark.pedantic(_measure, args=(workloads,),
+                              rounds=1, iterations=1)
+    table = []
+    for name, (n, ars, aws, mrs, mws) in PAPER.items():
+        row = rows[name]
+        table.append((
+            name, workloads[name].spec.total_txns,
+            f"{row.avg_read_set:.1f} ({ars})",
+            f"{row.avg_write_set:.1f} ({aws})",
+            f"{row.max_read_set} ({mrs})",
+            f"{row.max_write_set} ({mws})",
+        ))
+    emit(capsys, format_table(
+        ["Benchmark", "Num Xacts", "Avg RS (paper)", "Avg WS (paper)",
+         "Max RS (paper)", "Max WS (paper)"],
+        table,
+        title=("Table 5. Workload Parameters — measured on a "
+               f"{int(100 * SAMPLE_SCALE)}% sample, paper values in "
+               "parentheses"),
+    ))
+
+    for name, (n, ars, aws, mrs, mws) in PAPER.items():
+        row = rows[name]
+        assert workloads[name].spec.total_txns == n
+        assert abs(row.avg_read_set - ars) <= max(1.0, 0.35 * ars)
+        assert abs(row.avg_write_set - aws) <= max(1.0, 0.35 * aws)
+        assert row.max_read_set <= mrs
+        assert row.max_write_set <= mws
+    # The heavy tails must actually materialize for the big three.
+    assert rows["Delaunay"].max_read_set > 300
+    assert rows["Raytrace"].max_read_set > 100
+    assert rows["Genome"].max_read_set > 150

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Large transactions: where TokenTM beats signature-based HTMs.
+
+Re-creates the paper's motivating scenario in miniature: a Delaunay-
+style workload whose transactions read and write tens to hundreds of
+cache blocks.  The same trace runs on five HTMs:
+
+* LogTM-SE with 2Kbit Bloom signatures (2 and 4 H3 hashes) — large
+  write sets saturate the filters, so unrelated transactions start
+  false-conflicting and serialize;
+* LogTM-SE_Perf — the unimplementable exact-signature baseline;
+* TokenTM with and without fast token release — precise per-block
+  tokens, so only *real* conflicts cost anything.
+
+Expect TokenTM within a few percent of the perfect baseline while the
+Bloom variants fall far behind (Figure 5's Delaunay bars).
+"""
+
+from repro.analysis.experiments import FIGURE5_VARIANTS, run_variants
+from repro.workloads import delaunay
+
+
+def main() -> None:
+    workload = delaunay()
+    print("generating Delaunay-style large-transaction workload...")
+    cells = run_variants(workload, FIGURE5_VARIANTS, scale=0.01, seed=11)
+
+    baseline = cells["LogTM-SE_Perf"].stats.makespan
+    print(f"\n{'variant':18s} {'makespan':>14s} {'speedup':>8s} "
+          f"{'aborts':>7s} {'FP conflicts':>12s}")
+    for variant, cell in cells.items():
+        stats = cell.stats
+        fp = stats.machine.get("false_positive_conflicts", 0)
+        print(f"{variant:18s} {stats.makespan:>14,} "
+              f"{baseline / stats.makespan:>8.3f} {stats.aborts:>7} "
+              f"{fp:>12}")
+
+    token = cells["TokenTM"].stats.makespan
+    sig4 = cells["LogTM-SE_4xH3"].stats.makespan
+    print(f"\nTokenTM is {sig4 / token:.1f}x faster than LogTM-SE_4xH3 "
+          f"on this workload (paper reports 5.7x at full scale).")
+
+    tok_stats = cells["TokenTM"].stats
+    print(f"TokenTM fast-release rate: "
+          f"{100 * tok_stats.fast_release_fraction:.0f}% — large "
+          f"transactions overflow the L1 and fall back to the "
+          f"software log walk, exactly as Section 4.4 describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+"""Conflict attribution: which blocks and transactions cause trouble.
+
+The paper's contention manager needs to know *who* conflicts; a
+performance engineer needs to know *what*.  This module post-processes
+a run's committed history (plus an instrumented conflict feed) into a
+per-block contention profile: how many conflicts each block caused,
+the threads involved, and the estimated cycles lost to stalls and
+aborts on its account.
+
+Attach a :class:`ConflictRecorder` to an executor run by wrapping the
+machine (:func:`instrument`), then render with :func:`profile_report`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.tables import format_table
+from repro.htm.base import HTM, AccessOutcome, ConflictKind
+
+
+@dataclass
+class BlockProfile:
+    """Contention summary for one block."""
+
+    block: int
+    conflicts: int = 0
+    writer_conflicts: int = 0
+    reader_conflicts: int = 0
+    false_positives: int = 0
+    requesters: Counter = field(default_factory=Counter)
+    holders: Counter = field(default_factory=Counter)
+
+
+class ConflictRecorder:
+    """Collects every conflict an HTM machine reports."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[int, BlockProfile] = {}
+        self.total_conflicts = 0
+
+    def record(self, tid: int, outcome: AccessOutcome) -> None:
+        info = outcome.conflict
+        if info is None:
+            return
+        self.total_conflicts += 1
+        profile = self._profiles.get(info.block)
+        if profile is None:
+            profile = BlockProfile(info.block)
+            self._profiles[info.block] = profile
+        profile.conflicts += 1
+        if info.kind is ConflictKind.WRITER:
+            profile.writer_conflicts += 1
+        elif info.kind is ConflictKind.READERS:
+            profile.reader_conflicts += 1
+        if info.false_positive:
+            profile.false_positives += 1
+        profile.requesters[tid] += 1
+        for holder in info.hints:
+            profile.holders[holder] += 1
+
+    def hottest(self, top: int = 10) -> List[BlockProfile]:
+        """Blocks ordered by conflict count, hottest first."""
+        ordered = sorted(self._profiles.values(),
+                         key=lambda p: p.conflicts, reverse=True)
+        return ordered[:top]
+
+    @property
+    def block_count(self) -> int:
+        return len(self._profiles)
+
+
+class _InstrumentedHTM:
+    """Proxy that feeds every conflicting access to a recorder.
+
+    Only the access methods are intercepted; everything else
+    delegates, so the proxy can stand in for the machine anywhere.
+    """
+
+    def __init__(self, inner: HTM, recorder: ConflictRecorder):
+        self._inner = inner
+        self._recorder = recorder
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def read(self, core: int, tid: int, block: int) -> AccessOutcome:
+        outcome = self._inner.read(core, tid, block)
+        self._recorder.record(tid, outcome)
+        return outcome
+
+    def write(self, core: int, tid: int, block: int) -> AccessOutcome:
+        outcome = self._inner.write(core, tid, block)
+        self._recorder.record(tid, outcome)
+        return outcome
+
+    def nontxn_read(self, core: int, tid: int, block: int) -> AccessOutcome:
+        outcome = self._inner.nontxn_read(core, tid, block)
+        self._recorder.record(tid, outcome)
+        return outcome
+
+    def nontxn_write(self, core: int, tid: int, block: int) -> AccessOutcome:
+        outcome = self._inner.nontxn_write(core, tid, block)
+        self._recorder.record(tid, outcome)
+        return outcome
+
+
+def instrument(machine: HTM) -> Tuple[HTM, ConflictRecorder]:
+    """Wrap a machine so its conflicts are recorded.
+
+    Returns ``(proxy, recorder)``; pass the proxy to the executor in
+    place of the machine.
+    """
+    recorder = ConflictRecorder()
+    return _InstrumentedHTM(machine, recorder), recorder
+
+
+def profile_report(recorder: ConflictRecorder, top: int = 10,
+                   title: Optional[str] = None) -> str:
+    """Render the hottest blocks as a table."""
+    rows = []
+    for profile in recorder.hottest(top):
+        top_requester = (profile.requesters.most_common(1)[0][0]
+                         if profile.requesters else "-")
+        top_holder = (profile.holders.most_common(1)[0][0]
+                      if profile.holders else "-")
+        rows.append((
+            f"{profile.block:#x}", profile.conflicts,
+            profile.writer_conflicts, profile.reader_conflicts,
+            profile.false_positives, top_requester, top_holder,
+        ))
+    return format_table(
+        ["Block", "Conflicts", "vs writer", "vs readers",
+         "False pos.", "Top requester", "Top holder"],
+        rows,
+        title=title or (f"Hottest blocks "
+                        f"({recorder.total_conflicts} conflicts over "
+                        f"{recorder.block_count} blocks)"),
+    )

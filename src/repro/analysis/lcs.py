@@ -1,0 +1,124 @@
+"""Long-running critical section analysis (the paper's Table 1).
+
+The DTrace substitute: walks a lock-based workload trace, carves out
+critical sections (LOCK..UNLOCK regions), classifies as *long-running*
+those that block in a system call (the paper also counts context
+switches, which our traces express as blocking syscalls), and reports
+the Table 1 columns — average LCS duration, maximum LCS duration, and
+the percentage of total execution time spent in LCS.
+
+The walk is static (no contention model): the applications the paper
+measured are dominated by uncontended critical-section time, and
+Table 1's point is the *durations*, not lock contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.workloads.lockapps import CYCLES_PER_MS
+from repro.workloads.trace import (
+    OP_COMPUTE,
+    OP_LOCK,
+    OP_NT_READ,
+    OP_NT_WRITE,
+    OP_SYSCALL,
+    OP_UNLOCK,
+    WorkloadTrace,
+)
+
+#: Nominal cycles charged per memory access in the static walk.
+ACCESS_COST = 2
+
+
+@dataclass
+class CriticalSection:
+    """One LOCK..UNLOCK region found in a trace."""
+
+    thread_id: int
+    lock_id: int
+    duration_cycles: int
+    blocking: bool  # made a blocking syscall (or context-switched)
+
+
+@dataclass
+class LcsReport:
+    """Table 1 row for one application."""
+
+    name: str
+    sections: List[CriticalSection] = field(default_factory=list)
+    total_cycles: int = 0
+
+    @property
+    def lcs(self) -> List[CriticalSection]:
+        """Only the long-running (blocking) critical sections."""
+        return [s for s in self.sections if s.blocking]
+
+    @property
+    def avg_lcs_ms(self) -> float:
+        lcs = self.lcs
+        if not lcs:
+            return 0.0
+        return (sum(s.duration_cycles for s in lcs)
+                / len(lcs) / CYCLES_PER_MS)
+
+    @property
+    def max_lcs_ms(self) -> float:
+        lcs = self.lcs
+        if not lcs:
+            return 0.0
+        return max(s.duration_cycles for s in lcs) / CYCLES_PER_MS
+
+    @property
+    def lcs_time_percent(self) -> float:
+        if not self.total_cycles:
+            return 0.0
+        lcs_cycles = sum(s.duration_cycles for s in self.lcs)
+        return 100.0 * lcs_cycles / self.total_cycles
+
+    def row(self) -> Dict[str, float]:
+        """Table 1 columns as a dict."""
+        return {
+            "benchmark": self.name,
+            "avg_lcs_ms": self.avg_lcs_ms,
+            "max_lcs_ms": self.max_lcs_ms,
+            "lcs_time_percent": self.lcs_time_percent,
+        }
+
+
+def analyze_lock_trace(trace: WorkloadTrace) -> LcsReport:
+    """Run the critical-section analysis over one application trace.
+
+    Nested locks contribute to the innermost open section only at the
+    point of closure — the region of the *outermost* lock spans all of
+    them, matching how DTrace attributes time to each lock hold.
+    """
+    report = LcsReport(name=trace.name)
+    for thread in trace.threads:
+        open_sections: List[CriticalSection] = []
+        for opcode, arg in thread.ops:
+            cost = 0
+            if opcode in (OP_COMPUTE, OP_SYSCALL):
+                cost = arg
+            elif opcode in (OP_NT_READ, OP_NT_WRITE):
+                cost = ACCESS_COST
+            report.total_cycles += cost
+            for section in open_sections:
+                section.duration_cycles += cost
+                if opcode == OP_SYSCALL:
+                    section.blocking = True
+            if opcode == OP_LOCK:
+                open_sections.append(
+                    CriticalSection(thread.thread_id, arg, 0, False)
+                )
+            elif opcode == OP_UNLOCK:
+                section = open_sections.pop()
+                report.sections.append(section)
+    return report
+
+
+def table1(traces: Dict[str, WorkloadTrace]) -> List[Dict[str, float]]:
+    """Table 1 rows for a set of application traces."""
+    return [analyze_lock_trace(trace).row()
+            for trace in traces.values()]

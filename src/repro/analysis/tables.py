@@ -1,0 +1,132 @@
+"""Plain-text table and figure formatting for the benchmark harness.
+
+Every table/figure bench prints through these helpers so the output
+lines up with the paper's presentation (same columns, same units).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:,.2f}")
+            elif isinstance(cell, int):
+                rendered.append(f"{cell:,}")
+            else:
+                rendered.append(str(cell))
+        str_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_bar_chart(series: Mapping[str, Mapping[str, float]],
+                     title: str,
+                     width: int = 40,
+                     value_format: str = "{:.2f}") -> str:
+    """ASCII grouped bar chart: {group: {bar_name: value}}.
+
+    Used to render Figures 1 and 5 (speedup bars per workload).
+    """
+    peak = max(
+        (value for group in series.values() for value in group.values()),
+        default=1.0,
+    )
+    peak = max(peak, 1e-9)
+    out = [title]
+    for group_name, bars in series.items():
+        out.append(f"\n{group_name}")
+        name_width = max((len(n) for n in bars), default=0)
+        for bar_name, value in bars.items():
+            filled = int(round(width * value / peak))
+            bar = "#" * filled
+            out.append(
+                f"  {bar_name.ljust(name_width)} |{bar.ljust(width)}| "
+                + value_format.format(value)
+            )
+    return "\n".join(out)
+
+
+def format_table1(rows: Iterable[Dict[str, float]]) -> str:
+    """Table 1: Analysis of Long-running Critical Sections (LCS)."""
+    return format_table(
+        ["Benchmark", "Avg. LCS Duration (ms)", "Max. LCS Duration (ms)",
+         "% of Total Execution Time"],
+        [
+            (r["benchmark"], round(float(r["avg_lcs_ms"]), 2),
+             round(float(r["max_lcs_ms"]), 2),
+             round(float(r["lcs_time_percent"]), 2))
+            for r in rows
+        ],
+        title="Table 1. Analysis of Long-running Critical Sections (LCS)",
+    )
+
+
+def format_table5(rows) -> str:
+    """Table 5: Workload Parameters (measured from generators)."""
+    return format_table(
+        ["Benchmark", "Num Xacts", "Avg Read-Set", "Avg Write-Set",
+         "Max Read-Set", "Max Write-Set"],
+        [
+            (r.benchmark, r.num_txns, round(r.avg_read_set, 1),
+             round(r.avg_write_set, 1), r.max_read_set, r.max_write_set)
+            for r in rows
+        ],
+        title="Table 5. Workload Parameters",
+    )
+
+
+def format_table6(rows) -> str:
+    """Table 6: TokenTM Specific Overheads."""
+    return format_table(
+        ["Benchmark", "% Fast Xacts", "Fast Avg RS", "Fast Avg WS",
+         "Fast Avg Dur", "SW Avg RS", "SW Avg WS", "SW Avg Dur",
+         "SW Release (cyc)", "Log Stalls (%)"],
+        [
+            (r.benchmark, round(r.fast_pct, 1),
+             round(r.fast_avg_read_set, 1), round(r.fast_avg_write_set, 1),
+             round(r.fast_avg_duration), round(r.sw_avg_read_set, 1),
+             round(r.sw_avg_write_set, 1), round(r.sw_avg_duration),
+             round(r.sw_release_cycles), round(r.log_stall_pct, 2))
+            for r in rows
+        ],
+        title="Table 6. TokenTM Specific Overheads",
+    )
+
+
+def format_speedup_figure(series_list, title: str) -> str:
+    """Figures 1/5: speedups (normalized) as a grouped bar chart."""
+    groups: Dict[str, Dict[str, float]] = {}
+    for series in series_list:
+        groups[series.workload] = {
+            variant: est.mean for variant, est in series.speedups.items()
+        }
+    return format_bar_chart(groups, title)

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's experiments:
+
+* ``run``      — one workload on one HTM variant, stats as text/JSON;
+* ``table1``   — the long-critical-section analysis;
+* ``table5``   — workload parameters measured from the generators;
+* ``table6``   — TokenTM-specific overheads;
+* ``figure1``  — false-positive study (LogTM-SE variants);
+* ``figure5``  — the main performance comparison;
+* ``variants`` — list the available HTM variants.
+
+Every command takes ``--seed`` and (where it applies) ``--scale`` so
+results are reproducible and sized to taste.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    FIGURE1_VARIANTS,
+    FIGURE5_VARIANTS,
+    figure_speedups,
+    measure_table5,
+    run_cell,
+    table6_row,
+)
+from repro.analysis.lcs import table1 as lcs_table1
+from repro.analysis.tables import (
+    format_speedup_figure,
+    format_table,
+    format_table1,
+    format_table5,
+    format_table6,
+)
+from repro.htm import VARIANTS
+from repro.workloads import lock_applications, tm_workloads
+
+#: Default per-workload scales (fractions of Table 5 counts) chosen
+#: for minutes-scale runtimes; match benchmarks/conftest.py.
+DEFAULT_SCALES = {
+    "Barnes": 0.2, "Cholesky": 0.01, "Radiosity": 0.02,
+    "Raytrace": 0.01, "Delaunay": 0.015, "Genome": 0.004,
+    "Vacation-Low": 0.02, "Vacation-High": 0.02,
+}
+
+
+def _workload(name: str):
+    registry = tm_workloads()
+    if name not in registry:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from "
+            f"{', '.join(sorted(registry))}"
+        )
+    return registry[name]
+
+
+def cmd_variants(_args) -> int:
+    for variant in VARIANTS:
+        print(variant)
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = _workload(args.workload)
+    scale = args.scale or DEFAULT_SCALES[args.workload]
+    cell = run_cell(workload, args.variant, scale=scale, seed=args.seed)
+    snapshot = cell.stats.snapshot()
+    snapshot["scale"] = scale
+    if args.json:
+        print(json.dumps(snapshot, indent=2, default=str))
+    else:
+        rows = [(k, v) for k, v in snapshot.items() if k != "machine"]
+        print(format_table(["metric", "value"], rows,
+                           title=f"{args.workload} on {args.variant}"))
+        machine = snapshot["machine"]
+        print(format_table(
+            ["machine counter", "value"],
+            sorted((k, v) for k, v in machine.items()
+                   if not k.startswith("_")),
+        ))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    rows = lcs_table1(lock_applications(seed=args.seed))
+    print(format_table1(rows))
+    return 0
+
+
+def cmd_table5(args) -> int:
+    scale = args.scale or 0.2
+    rows = [measure_table5(wl, seed=args.seed, scale=scale)
+            for wl in tm_workloads().values()]
+    print(format_table5(rows))
+    print(f"(set statistics measured on a {scale:g} sample of each "
+          "workload)")
+    return 0
+
+
+def cmd_table6(args) -> int:
+    rows = []
+    for name, wl in tm_workloads().items():
+        scale = args.scale or DEFAULT_SCALES[name]
+        rows.append(table6_row(wl, scale=scale, seed=args.seed))
+    print(format_table6(rows))
+    return 0
+
+
+def _figure(args, variants, title: str) -> int:
+    names = args.workloads or list(tm_workloads())
+    series = []
+    for name in names:
+        wl = _workload(name)
+        scale = args.scale or DEFAULT_SCALES[name]
+        series.append(figure_speedups(
+            wl, variants=variants, scale=scale, runs=args.runs,
+            seed=args.seed,
+        ))
+    print(format_speedup_figure(series, title))
+    if args.runs > 1:
+        print("\n95% confidence intervals:")
+        for s in series:
+            for variant, est in s.speedups.items():
+                print(f"  {s.workload} / {variant}: {est}")
+    return 0
+
+
+def cmd_figure1(args) -> int:
+    if not args.workloads:
+        args.workloads = ["Delaunay", "Genome", "Vacation-Low",
+                          "Vacation-High"]
+    return _figure(args, FIGURE1_VARIANTS,
+                   "Figure 1. Effect of False Positives "
+                   "(speedup vs LogTM-SE_Perf)")
+
+
+def cmd_figure5(args) -> int:
+    return _figure(args, FIGURE5_VARIANTS,
+                   "Figure 5. TokenTM Performance "
+                   "(speedup vs LogTM-SE_Perf)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TokenTM (ISCA 2008) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("variants", help="list HTM variants") \
+        .set_defaults(func=cmd_variants)
+
+    run_p = sub.add_parser("run", help="run one workload on one variant")
+    run_p.add_argument("workload", help="Table 5 workload name")
+    run_p.add_argument("variant", choices=VARIANTS)
+    run_p.add_argument("--scale", type=float, default=None)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--json", action="store_true")
+    run_p.set_defaults(func=cmd_run)
+
+    for name, func, needs_scale in (
+        ("table1", cmd_table1, False),
+        ("table5", cmd_table5, True),
+        ("table6", cmd_table6, True),
+    ):
+        p = sub.add_parser(name, help=f"reproduce the paper's {name}")
+        p.add_argument("--seed", type=int, default=2008)
+        if needs_scale:
+            p.add_argument("--scale", type=float, default=None)
+        p.set_defaults(func=func)
+
+    for name, func in (("figure1", cmd_figure1), ("figure5", cmd_figure5)):
+        p = sub.add_parser(name, help=f"reproduce the paper's {name}")
+        p.add_argument("--workloads", nargs="*", default=None)
+        p.add_argument("--scale", type=float, default=None)
+        p.add_argument("--seed", type=int, default=2008)
+        p.add_argument("--runs", type=int, default=1,
+                       help="perturbed runs for 95%% CIs")
+        p.set_defaults(func=func)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

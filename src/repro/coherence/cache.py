@@ -1,0 +1,129 @@
+"""Set-associative private L1 cache model with MESI line states.
+
+Lines carry an opaque ``meta`` slot that the HTM layer uses to attach
+per-copy transactional metastate (TokenTM's in-cache metabits).  The
+cache itself knows nothing about transactions; it only models
+placement, MESI state, LRU replacement, and non-silent evictions.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import CoherenceError
+
+
+class MESI(Enum):
+    """Stable coherence states of an L1 line."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+class CacheLine:
+    """One L1 line: block address, MESI state, LRU stamp, HTM meta."""
+
+    __slots__ = ("block", "state", "lru", "meta")
+
+    def __init__(self, block: int, state: MESI, lru: int):
+        self.block = block
+        self.state = state
+        self.lru = lru
+        self.meta: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheLine(block={self.block:#x}, state={self.state.value})"
+
+
+class L1Cache:
+    """Private write-back L1 with LRU replacement.
+
+    Evictions are *chosen* here but *performed* by the protocol layer
+    (which must notify the directory — the paper requires non-silent
+    evictions so TokenTM's metastate can follow the data home).
+    """
+
+    def __init__(self, geometry: CacheGeometry, core: int):
+        self._geometry = geometry
+        self._core = core
+        self._sets: List[Dict[int, CacheLine]] = [
+            {} for _ in range(geometry.num_sets)
+        ]
+        self._tick = 0
+
+    @property
+    def core(self) -> int:
+        return self._core
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return self._geometry
+
+    def _set_for(self, block: int) -> Dict[int, CacheLine]:
+        return self._sets[self._geometry.set_index(block)]
+
+    def lookup(self, block: int) -> Optional[CacheLine]:
+        """Return the line for ``block`` if present and valid."""
+        line = self._set_for(block).get(block)
+        if line is not None and line.state is MESI.INVALID:
+            return None
+        return line
+
+    def touch(self, block: int) -> None:
+        """Refresh LRU recency of a resident block."""
+        line = self.lookup(block)
+        if line is not None:
+            self._tick += 1
+            line.lru = self._tick
+
+    def victim_for(self, block: int) -> Optional[CacheLine]:
+        """Pick the line to evict to make room for ``block``.
+
+        Returns None when the set has a free way (or the block is
+        already resident).  The LRU-minimal valid line is chosen.
+        """
+        cache_set = self._set_for(block)
+        if block in cache_set:
+            return None
+        if len(cache_set) < self._geometry.associativity:
+            return None
+        return min(cache_set.values(), key=lambda ln: ln.lru)
+
+    def install(self, block: int, state: MESI) -> CacheLine:
+        """Place a block (caller must have evicted a victim first)."""
+        cache_set = self._set_for(block)
+        if block in cache_set:
+            raise CoherenceError(
+                f"block {block:#x} already resident in core {self._core} L1"
+            )
+        if len(cache_set) >= self._geometry.associativity:
+            raise CoherenceError(
+                f"set full installing block {block:#x} in core {self._core} L1"
+            )
+        self._tick += 1
+        line = CacheLine(block, state, self._tick)
+        cache_set[block] = line
+        return line
+
+    def remove(self, block: int) -> CacheLine:
+        """Drop a block (eviction or invalidation)."""
+        cache_set = self._set_for(block)
+        line = cache_set.pop(block, None)
+        if line is None:
+            raise CoherenceError(
+                f"block {block:#x} not resident in core {self._core} L1"
+            )
+        return line
+
+    def lines(self) -> Iterator[CacheLine]:
+        """Iterate over all valid resident lines."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def resident_count(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(s) for s in self._sets)

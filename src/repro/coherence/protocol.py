@@ -1,0 +1,423 @@
+"""Directory MESI protocol engine.
+
+Ties the private L1 caches, the exact directory, and the tiled
+interconnect into a functional coherence model.  The engine
+
+* keeps MESI states and the directory mutually consistent,
+* charges hop-count latencies for every protocol action,
+* performs **non-silent evictions** (required by TokenTM so metastate
+  can follow data back to memory), and
+* reports every data movement to a :class:`CoherenceListener`, which
+  is how the HTM layer observes fills, downgrades, invalidations, and
+  evictions to apply metastate fission/fusion.
+
+The engine never blocks or NACKs a request: TokenTM explicitly makes
+no changes to coherence transitions — conflicts are detected from
+metastate *after* data moves.  HTMs that conceptually NACK (LogTM-SE)
+instead consult :meth:`MemorySystem.preview` and simply decline to
+call :meth:`MemorySystem.access`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import CoherenceError
+from repro.coherence.cache import CacheLine, L1Cache, MESI
+from repro.coherence.directory import Directory, DirState
+from repro.interconnect.topology import TiledTopology
+
+#: Pseudo-holder id for the memory/L2 home copy in listener callbacks.
+MEMORY_HOLDER = -1
+
+
+class CoherenceListener:
+    """Observer hooks for data movement.  All default to no-ops.
+
+    ``source`` identifies where the incoming copy's data (and, for
+    TokenTM, metastate) came from: a core id for cache-to-cache
+    transfers, or :data:`MEMORY_HOLDER` for fills from L2/memory.
+    """
+
+    def on_fill(self, core: int, block: int, line: CacheLine,
+                shared: bool, source: int) -> None:
+        """A new copy was installed in ``core``'s L1."""
+
+    def on_invalidate(self, core: int, block: int, line: CacheLine,
+                      requester: int) -> None:
+        """``core`` lost its copy to an exclusive request by ``requester``."""
+
+    def on_downgrade(self, core: int, block: int, line: CacheLine,
+                     requester: int) -> None:
+        """``core``'s exclusive copy was demoted to shared."""
+
+    def on_evict(self, core: int, block: int, line: CacheLine) -> None:
+        """``core`` wrote the copy back to memory (capacity/conflict)."""
+
+
+@dataclass(frozen=True)
+class AccessPreview:
+    """What an access *would* do, without doing it.
+
+    Used by LogTM-SE to decide whether a request reaches the
+    directory (only such requests are signature-checked) and by
+    instrumentation.
+    """
+
+    hit: bool
+    needs_directory: bool
+    would_invalidate: Tuple[int, ...]
+    would_downgrade: Optional[int]
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a performed access."""
+
+    latency: int
+    hit: bool
+    line: CacheLine
+    upgraded: bool = False
+    filled: bool = False
+    source: int = MEMORY_HOLDER
+    invalidated: Tuple[int, ...] = ()
+    evicted_victim: bool = False
+
+
+@dataclass
+class ProtocolStats:
+    """Aggregate protocol event counters."""
+
+    reads: int = 0
+    writes: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    upgrades: int = 0
+    invalidations: int = 0
+    downgrades: int = 0
+    evictions: int = 0
+    memory_fetches: int = 0
+    cache_to_cache: int = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy for reporting."""
+        return dict(self.__dict__)
+
+
+class MemorySystem:
+    """Functional MESI CMP memory system with latency accounting."""
+
+    def __init__(self, config: SystemConfig,
+                 listener: Optional[CoherenceListener] = None):
+        self._config = config
+        self._topology = TiledTopology(config)
+        self._listener = listener or CoherenceListener()
+        self._caches: List[L1Cache] = [
+            L1Cache(config.l1, core) for core in range(config.num_cores)
+        ]
+        self._directory = Directory()
+        self._l2_present: Set[int] = set()
+        self._zero_filled: List[Tuple[int, int]] = []
+        self.stats = ProtocolStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._config
+
+    @property
+    def topology(self) -> TiledTopology:
+        return self._topology
+
+    @property
+    def directory(self) -> Directory:
+        return self._directory
+
+    def set_listener(self, listener: CoherenceListener) -> None:
+        """Attach the HTM's movement observer."""
+        self._listener = listener
+
+    def cache(self, core: int) -> L1Cache:
+        """The private L1 of ``core``."""
+        return self._caches[core]
+
+    def holders(self, block: int) -> Set[int]:
+        """Cores currently holding a copy of ``block``."""
+        entry = self._directory.peek(block)
+        return entry.holders() if entry else set()
+
+    def preview(self, core: int, block: int, is_write: bool) -> AccessPreview:
+        """Describe what ``access`` with these arguments would do."""
+        line = self._caches[core].lookup(block)
+        if line is not None:
+            if not is_write or line.state in (MESI.MODIFIED, MESI.EXCLUSIVE):
+                return AccessPreview(True, False, (), None)
+            # Write hit on a shared line: upgrade through the directory.
+            others = tuple(sorted(self.holders(block) - {core}))
+            return AccessPreview(True, True, others, None)
+        entry = self._directory.peek(block)
+        if entry is None or entry.state is DirState.UNCACHED:
+            return AccessPreview(False, True, (), None)
+        if entry.state is DirState.EXCLUSIVE:
+            owner = entry.owner
+            if is_write:
+                return AccessPreview(False, True, (owner,), None)
+            return AccessPreview(False, True, (), owner)
+        others = tuple(sorted(entry.sharers - {core}))
+        if is_write:
+            return AccessPreview(False, True, others, None)
+        return AccessPreview(False, True, (), None)
+
+    def mark_zero_filled(self, start: int, end: int) -> None:
+        """Declare [start, end) as freshly zero-filled virtual memory.
+
+        First-touch misses in such a range (e.g. a thread's newly
+        allocated transaction log) cost an L2 hit, not a DRAM fetch:
+        the OS just zeroed those pages, so they are chip-resident.
+        """
+        if end <= start:
+            raise CoherenceError("empty zero-filled range")
+        self._zero_filled.append((start, end))
+
+    def _is_zero_filled(self, block: int) -> bool:
+        for start, end in self._zero_filled:
+            if start <= block < end:
+                return True
+        return False
+
+    def request_latency(self, core: int, block: int) -> int:
+        """Cost of a directory request that gets NACKed (LogTM-SE).
+
+        TokenTM never NACKs, but LogTM-SE's eager conflict detection
+        rejects conflicting requests at the protocol level; the
+        requester still pays the round trip to the directory.
+        """
+        return self._directory_round_trip(core, block)
+
+    # ------------------------------------------------------------------
+    # The access path
+    # ------------------------------------------------------------------
+
+    def access(self, core: int, block: int, is_write: bool) -> AccessResult:
+        """Give ``core`` read or write permission for ``block``.
+
+        Returns the latency-charged result; all coherence side effects
+        (evictions, invalidations, downgrades) have been applied and
+        reported to the listener when this returns.
+        """
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        cache = self._caches[core]
+        line = cache.lookup(block)
+        if line is not None:
+            return self._access_hit(core, cache, line, block, is_write)
+        return self._access_miss(core, cache, block, is_write)
+
+    def _access_hit(self, core: int, cache: L1Cache, line: CacheLine,
+                    block: int, is_write: bool) -> AccessResult:
+        lat = self._config.latency
+        cache.touch(block)
+        if not is_write or line.state is MESI.MODIFIED:
+            self.stats.l1_hits += 1
+            return AccessResult(lat.l1_hit, True, line)
+        if line.state is MESI.EXCLUSIVE:
+            # Silent E->M upgrade; directory already records exclusivity.
+            line.state = MESI.MODIFIED
+            self.stats.l1_hits += 1
+            return AccessResult(lat.l1_hit, True, line)
+
+        # Write hit on a SHARED line: upgrade via the directory.
+        self.stats.upgrades += 1
+        invalidated = self._invalidate_others(core, block)
+        self._directory.record_upgrade(block, core)
+        line.state = MESI.MODIFIED
+        latency = (lat.l1_hit + self._directory_round_trip(core, block)
+                   + self._invalidation_latency(core, block, invalidated))
+        return AccessResult(latency, True, line, upgraded=True,
+                            invalidated=invalidated)
+
+    def _access_miss(self, core: int, cache: L1Cache, block: int,
+                     is_write: bool) -> AccessResult:
+        self.stats.l1_misses += 1
+        evicted = self._make_room(core, cache, block)
+        entry = self._directory.entry(block)
+        lat = self._config.latency
+        latency = self._directory_round_trip(core, block)
+        source = MEMORY_HOLDER
+        invalidated: Tuple[int, ...] = ()
+
+        if entry.state is DirState.EXCLUSIVE:
+            owner = entry.owner
+            assert owner is not None
+            source = owner
+            self.stats.cache_to_cache += 1
+            # Forward request to owner, data comes core-to-core.
+            latency += (self._topology.latency(
+                self._topology.core_to_bank_hops(
+                    owner, self._config.l2_bank_of(block)))
+                + self._topology.latency(
+                    self._topology.core_to_core_hops(owner, core)))
+            if is_write:
+                owner_line = self._caches[owner].remove(block)
+                self._listener.on_invalidate(owner, block, owner_line, core)
+                self.stats.invalidations += 1
+                entry.state = DirState.UNCACHED
+                entry.owner = None
+                invalidated = (owner,)
+            else:
+                owner_line = self._caches[owner].lookup(block)
+                assert owner_line is not None
+                owner_line.state = MESI.SHARED
+                self._directory.record_downgrade(block, core)
+                self._listener.on_downgrade(owner, block, owner_line, core)
+                self.stats.downgrades += 1
+            self._l2_present.add(block)
+        else:
+            if entry.state is DirState.SHARED and is_write:
+                invalidated = self._invalidate_others(core, block)
+                latency += self._invalidation_latency(core, block, invalidated)
+            if block in self._l2_present or self._is_zero_filled(block):
+                latency += lat.l2_hit
+                self._l2_present.add(block)
+            else:
+                self.stats.memory_fetches += 1
+                bank = self._config.l2_bank_of(block)
+                latency += (lat.memory
+                            + 2 * self._topology.latency(
+                                self._topology.bank_to_memory_hops(bank, block)))
+                self._l2_present.add(block)
+
+        if is_write:
+            new_line = cache.install(block, MESI.MODIFIED)
+            # Entry may be freshly UNCACHED or drained of sharers.
+            entry.state = DirState.EXCLUSIVE
+            entry.owner = core
+            entry.sharers.clear()
+        else:
+            shared = entry.state is DirState.SHARED
+            new_state = MESI.SHARED if shared else MESI.EXCLUSIVE
+            new_line = cache.install(block, new_state)
+            if shared:
+                entry.sharers.add(core)
+            else:
+                entry.state = (DirState.SHARED if source != MEMORY_HOLDER
+                               else DirState.EXCLUSIVE)
+                if entry.state is DirState.EXCLUSIVE:
+                    entry.owner = core
+                else:  # downgrade path already set sharers
+                    pass
+
+        self._listener.on_fill(core, block, new_line,
+                               shared=new_line.state is MESI.SHARED,
+                               source=source)
+        return AccessResult(latency, False, new_line, filled=True,
+                            source=source, invalidated=invalidated,
+                            evicted_victim=evicted)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _make_room(self, core: int, cache: L1Cache, block: int) -> bool:
+        victim = cache.victim_for(block)
+        if victim is None:
+            return False
+        self.evict(core, victim.block)
+        return True
+
+    def evict(self, core: int, block: int) -> None:
+        """Non-silent eviction of ``block`` from ``core``'s L1.
+
+        Also usable directly (paging, tests).  Dirty data conceptually
+        writes back to L2; either way the directory learns the copy is
+        gone and the listener can fuse metastate home.
+        """
+        cache = self._caches[core]
+        line = cache.remove(block)
+        self._directory.record_eviction(block, core)
+        self._l2_present.add(block)
+        self.stats.evictions += 1
+        self._listener.on_evict(core, block, line)
+
+    def _invalidate_others(self, core: int, block: int) -> Tuple[int, ...]:
+        entry = self._directory.entry(block)
+        if entry.state is not DirState.SHARED:
+            return ()
+        others = sorted(entry.sharers - {core})
+        for other in others:
+            other_line = self._caches[other].remove(block)
+            entry.sharers.discard(other)
+            self.stats.invalidations += 1
+            self._listener.on_invalidate(other, block, other_line, core)
+        return tuple(others)
+
+    def _directory_round_trip(self, core: int, block: int) -> int:
+        lat = self._config.latency
+        bank = self._config.l2_bank_of(block)
+        hops = self._topology.core_to_bank_hops(core, bank)
+        return 2 * self._topology.latency(hops) + lat.directory
+
+    def _invalidation_latency(self, core: int, block: int,
+                              invalidated: Tuple[int, ...]) -> int:
+        """Invalidations fan out in parallel; charge the slowest."""
+        if not invalidated:
+            return 0
+        bank = self._config.l2_bank_of(block)
+        worst = 0
+        for other in invalidated:
+            one_way = (self._topology.latency(
+                self._topology.core_to_bank_hops(other, bank))
+                + self._topology.latency(
+                    self._topology.core_to_core_hops(other, core)))
+            worst = max(worst, one_way)
+        return worst
+
+    # ------------------------------------------------------------------
+    # Invariant audit
+    # ------------------------------------------------------------------
+
+    def audit(self) -> None:
+        """Cross-check cache states against the directory.
+
+        Raises :class:`CoherenceError` on the first inconsistency.
+        Intended for tests; O(total resident lines).
+        """
+        seen: dict = {}
+        for cache in self._caches:
+            for line in cache.lines():
+                seen.setdefault(line.block, []).append((cache.core, line))
+        for block, holders in seen.items():
+            entry = self._directory.peek(block)
+            if entry is None:
+                raise CoherenceError(f"cached block {block:#x} unknown to directory")
+            cores = {core for core, _ in holders}
+            if entry.holders() != cores:
+                raise CoherenceError(
+                    f"directory holders {entry.holders()} != caches {cores} "
+                    f"for block {block:#x}"
+                )
+            modified = [c for c, ln in holders
+                        if ln.state in (MESI.MODIFIED, MESI.EXCLUSIVE)]
+            if len(modified) > 1:
+                raise CoherenceError(
+                    f"multiple exclusive copies of {block:#x}: {modified}"
+                )
+            if modified and len(holders) > 1:
+                raise CoherenceError(
+                    f"exclusive copy of {block:#x} coexists with sharers"
+                )
+        for block, entry in self._directory.blocks():
+            for core in entry.holders():
+                if self._caches[core].lookup(block) is None:
+                    raise CoherenceError(
+                        f"directory lists core {core} for {block:#x} "
+                        "but the cache has no copy"
+                    )

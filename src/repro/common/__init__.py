@@ -1,0 +1,47 @@
+"""Shared utilities: configuration, errors, deterministic RNG."""
+
+from repro.common.config import (
+    BLOCK_SHIFT,
+    BLOCK_SIZE,
+    DEFAULT_TOKENS_PER_BLOCK,
+    CacheGeometry,
+    HTMConfig,
+    LatencyModel,
+    RunConfig,
+    SignatureConfig,
+    SystemConfig,
+)
+from repro.common.errors import (
+    BookkeepingError,
+    CoherenceError,
+    ConfigError,
+    MetastateError,
+    ReproError,
+    SerializabilityError,
+    SimulationError,
+    TokenError,
+    TraceError,
+    TransactionError,
+)
+
+__all__ = [
+    "BLOCK_SHIFT",
+    "BLOCK_SIZE",
+    "DEFAULT_TOKENS_PER_BLOCK",
+    "CacheGeometry",
+    "HTMConfig",
+    "LatencyModel",
+    "RunConfig",
+    "SignatureConfig",
+    "SystemConfig",
+    "BookkeepingError",
+    "CoherenceError",
+    "ConfigError",
+    "MetastateError",
+    "ReproError",
+    "SerializabilityError",
+    "SimulationError",
+    "TokenError",
+    "TraceError",
+    "TransactionError",
+]

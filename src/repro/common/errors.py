@@ -1,0 +1,77 @@
+"""Exception hierarchy for the TokenTM reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subclasses
+distinguish the major subsystems: simulation configuration, the cache
+coherence substrate, token/metastate bookkeeping, and transaction
+execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration value."""
+
+
+class CoherenceError(ReproError):
+    """Violation of a cache coherence protocol invariant.
+
+    Raised when the directory and cache states disagree, e.g. two
+    modified copies of one block, or a sharer the directory does not
+    know about.  These indicate bugs in the protocol model, never
+    expected runtime conditions.
+    """
+
+
+class MetastateError(ReproError):
+    """Illegal metastate transition, fission, or fusion.
+
+    The paper's Table 3(b) marks several fusion combinations as
+    errors (e.g. a transactional writer meeting foreign readers);
+    reaching one of those combinations means the single-writer
+    invariant was already broken.
+    """
+
+
+class BookkeepingError(ReproError):
+    """Double-entry bookkeeping invariant violation.
+
+    Raised by the ledger auditor when the tokens debited from a
+    block's logical metastate stop matching the tokens credited to
+    the per-thread software logs.
+    """
+
+
+class TokenError(ReproError):
+    """Illegal token acquisition or release (e.g. over-release)."""
+
+
+class TransactionError(ReproError):
+    """Misuse of the transaction lifecycle API.
+
+    Examples: committing a transaction that was never begun, nesting
+    begins on a flat-nesting HTM, or accessing memory from an aborted
+    transaction before it restarts.
+    """
+
+
+class SerializabilityError(ReproError):
+    """The committed-transaction history is not serializable.
+
+    Raised by the history validator when the conflict graph over
+    committed transactions contains a cycle, which would mean the HTM
+    under test failed to provide isolation.
+    """
+
+
+class TraceError(ReproError):
+    """Malformed workload trace (unknown opcode, unbalanced txn markers)."""
+
+
+class SimulationError(ReproError):
+    """Executor-level failure, e.g. a thread that can never make progress."""

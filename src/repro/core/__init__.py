@@ -1,0 +1,52 @@
+"""TokenTM's core mechanisms: tokens, metastate, logs, fast release."""
+
+from repro.core.bookkeeping import (
+    AuditReport,
+    LedgerSnapshot,
+    audit_books,
+    rebuild_debit_vector,
+    reconstruct_meta,
+)
+from repro.core.fastrelease import FastReleaseUnit
+from repro.core.fission import fission, fission_table, fuse, fuse_many
+from repro.core.metabits import CacheMetabits
+from repro.core.metastate import (
+    META_ZERO,
+    AccessVerdict,
+    AcquireResult,
+    Meta,
+    acquire_read,
+    acquire_write,
+    release,
+    transition_table,
+)
+from repro.core.tmlog import (
+    LOG_REGION_BASE_BLOCK,
+    LogRecord,
+    TmLog,
+)
+
+__all__ = [
+    "AccessVerdict",
+    "AcquireResult",
+    "AuditReport",
+    "CacheMetabits",
+    "FastReleaseUnit",
+    "LOG_REGION_BASE_BLOCK",
+    "LedgerSnapshot",
+    "LogRecord",
+    "META_ZERO",
+    "Meta",
+    "TmLog",
+    "acquire_read",
+    "acquire_write",
+    "audit_books",
+    "fission",
+    "fission_table",
+    "fuse",
+    "fuse_many",
+    "rebuild_debit_vector",
+    "reconstruct_meta",
+    "release",
+    "transition_table",
+]

@@ -1,0 +1,118 @@
+"""Fast token release eligibility tracking (Section 4.4).
+
+Fast release commits a transaction in constant time by flash-clearing
+the L1's R and W bits and resetting the log pointer.  It is only safe
+while *every* block the transaction marked is still present in the
+local L1 with the transaction's own R/W bits — once any marked line
+is evicted, invalidated, or (for writer state) copied elsewhere, the
+flash-clear could no longer return all tokens and the transaction
+must fall back to walking its log.
+
+:class:`FastReleaseUnit` is the per-core bookkeeping for this rule:
+it records which blocks the running transaction has marked and
+whether eligibility has been lost.  The actual metabit mutation is
+performed by the TokenTM machine that owns the cache lines; the unit
+only answers "may this commit use the fast path, and which lines must
+the flash-clear touch".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set
+
+
+class FastReleaseUnit:
+    """Fast-release safety tracker for one core."""
+
+    def __init__(self, core: int, enabled: bool = True):
+        self._core = core
+        self._enabled = enabled
+        self._tid: Optional[int] = None
+        self._marked: Set[int] = set()
+        self._eligible = False
+
+    @property
+    def core(self) -> int:
+        return self._core
+
+    @property
+    def enabled(self) -> bool:
+        """False models the TokenTM_NoFast variant."""
+        return self._enabled
+
+    @property
+    def marked_blocks(self) -> FrozenSet[int]:
+        """Blocks whose L1 lines carry the current transaction's R/W bits."""
+        return frozenset(self._marked)
+
+    @property
+    def eligible(self) -> bool:
+        """Whether commit may currently use the fast path."""
+        return self._enabled and self._eligible
+
+    def begin(self, tid: int) -> None:
+        """A transaction started on this core."""
+        self._tid = tid
+        self._marked.clear()
+        self._eligible = True
+
+    def mark(self, block: int) -> None:
+        """The transaction set R or W on a resident line."""
+        if self._tid is not None:
+            self._marked.add(block)
+
+    def line_evicted(self, block: int) -> None:
+        """A line left the L1 (capacity eviction or page-out)."""
+        if block in self._marked:
+            self._marked.discard(block)
+            self._eligible = False
+
+    def line_invalidated(self, block: int) -> None:
+        """A line was invalidated by a remote exclusive request."""
+        if block in self._marked:
+            self._marked.discard(block)
+            self._eligible = False
+
+    def line_downgraded(self, block: int, had_writer_bit: bool) -> None:
+        """A remote read copied the line's data (and metastate).
+
+        A downgraded line *stays* in the L1, so reader bits survive a
+        flash-clear safely.  Writer state, however, replicates to the
+        new copy (fission rule (T,X) -> (T,X),(T,X)); a flash-clear
+        here would leave the remote copy claiming a writer that no
+        longer exists, so the transaction loses the fast path.
+        """
+        if block in self._marked and had_writer_bit:
+            self._eligible = False
+            # The line remains marked: commit must still clear it,
+            # just via the software walk.
+
+    def take_fast_release(self) -> FrozenSet[int]:
+        """Commit via flash-clear: returns the lines to clear.
+
+        Caller must have checked :attr:`eligible`.  Resets the unit.
+        """
+        lines = frozenset(self._marked)
+        self._marked.clear()
+        self._tid = None
+        self._eligible = False
+        return lines
+
+    def finish_software(self) -> None:
+        """Commit or abort released tokens via the log walk instead."""
+        self._marked.clear()
+        self._tid = None
+        self._eligible = False
+
+    def context_switch(self) -> FrozenSet[int]:
+        """The core descheduled the running thread (flash-OR path).
+
+        Returns the marked lines whose R/W bits must be flash-ORed
+        into R'/W'.  The descheduled transaction can never use fast
+        release afterwards (its bits are now anonymous primed bits),
+        which the paper states explicitly.
+        """
+        lines = frozenset(self._marked)
+        self._marked.clear()
+        self._eligible = False
+        return lines

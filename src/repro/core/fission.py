@@ -1,0 +1,111 @@
+"""Metastate fission and fusion (the paper's Tables 3a and 3b).
+
+When the coherence protocol creates an additional shared copy of a
+block, TokenTM *fissions* the metastate: reader counts stay with the
+existing copy and the new copy starts at ``(0, -)``, while writer
+state ``(T, X)`` — which every copy must know about — replicates to
+the new copy.  When copies merge (exclusive request or writeback),
+their metastates *fuse* by summing reader counts and de-duplicating
+replicated writer state.
+
+Several fusion combinations are impossible under the single-writer
+invariant (e.g. a writer meeting foreign readers); Table 3(b) marks
+them as errors and :func:`fuse` raises :class:`MetastateError`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.errors import MetastateError
+from repro.core.metastate import META_ZERO, Meta
+
+
+def fission(meta: Meta, tokens_per_block: int) -> Tuple[Meta, Meta]:
+    """Split a copy's metastate for a newly created shared copy.
+
+    Returns ``(retained, new_copy)`` following Table 3(a):
+
+    ========  ========  ==========
+    Before    After     New Copy
+    ========  ========  ==========
+    (u, -)    (u, -)    (0, -)
+    (1, X)    (1, X)    (0, -)
+    (T, X)    (T, X)    (T, X)
+    ========  ========  ==========
+    """
+    if meta.total == tokens_per_block:
+        return meta, meta  # writer state replicates to every copy
+    return meta, META_ZERO
+
+
+def fuse(a: Meta, b: Meta, tokens_per_block: int) -> Meta:
+    """Merge the metastates of two copies of one block (Table 3(b)).
+
+    Raises :class:`MetastateError` for the cross-product cells the
+    paper marks as errors — each of which implies the single-writer
+    invariant was already violated.
+    """
+    t = tokens_per_block
+    a_writer = a.total == t
+    b_writer = b.total == t
+
+    if a_writer and b_writer:
+        if a.tid is not None and b.tid is not None and a.tid != b.tid:
+            raise MetastateError(
+                f"fusing two different writers {a} and {b}"
+            )
+        # Replicated copies of the same writer state de-duplicate.
+        return a if a.tid is not None else b
+    if a_writer or b_writer:
+        writer, other = (a, b) if a_writer else (b, a)
+        if other.total != 0:
+            raise MetastateError(
+                f"writer {writer} fused with reader state {other}"
+            )
+        return writer
+
+    combined = a.total + b.total
+    if combined >= t:
+        raise MetastateError(
+            f"fused reader count {combined} reaches writer territory"
+        )
+    if combined == 0:
+        return META_ZERO
+    # A single identified reader keeps its identity only when the
+    # other copy contributes nothing; any mixture anonymizes.
+    if a.total == 0:
+        return b
+    if b.total == 0:
+        return a
+    return Meta(combined, None)
+
+
+def fuse_many(metas, tokens_per_block: int) -> Meta:
+    """Left-fold :func:`fuse` over any number of copies."""
+    result = META_ZERO
+    for meta in metas:
+        result = fuse(result, meta, tokens_per_block)
+    return result
+
+
+def fission_table(tokens_per_block: int) -> Tuple[Tuple[str, str, str], ...]:
+    """Rows of Table 3(a) as strings, for the table-regeneration bench."""
+    t = tokens_per_block
+    cases = [Meta(3, None), Meta(1, 7), Meta(t, 7)]
+    labels = ["(u, -)", "(1, X)", "(T, X)"]
+
+    def fmt(m: Meta, u_label: str = "u") -> str:
+        if m.total == t:
+            return f"(T, {'X' if m.tid is not None else '-'})"
+        if m.total == 0:
+            return "(0, -)"
+        if m.tid is not None:
+            return "(1, X)"
+        return f"({u_label}, -)"
+
+    rows = []
+    for label, before in zip(labels, cases):
+        retained, new = fission(before, t)
+        rows.append((label, fmt(retained), fmt(new)))
+    return tuple(rows)

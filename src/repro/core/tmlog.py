@@ -1,0 +1,150 @@
+"""Per-thread software-visible transaction log.
+
+TokenTM inherits LogTM's version management: new values are written in
+place and the *old* value of every block is saved in a per-thread,
+cacheable, pageable log in virtual memory.  TokenTM additionally logs
+every token acquisition — the credit side of the double-entry books.
+
+Record formats (Section 5.1), in 8-byte words:
+
+* a **read record** is one word: the block's address (one token);
+* a **write record** is the address, a token count word, and the
+  64-byte old data image — ten words.
+
+The log itself occupies memory blocks, and appending requires
+exclusive coherence permission to the log block — the source of the
+"log stalls" the paper measures in Table 6.  :class:`TmLog` exposes
+the log-block address of every append so the executor can charge a
+real coherence access for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.common.config import BLOCK_SHIFT
+from repro.common.errors import TransactionError
+
+#: Words per cache block (64 bytes / 8-byte words).
+WORDS_PER_BLOCK = 8
+#: Words in a read record: address only.
+READ_RECORD_WORDS = 1
+#: Words in a write record: address + token count + old data image.
+WRITE_RECORD_WORDS = 2 + WORDS_PER_BLOCK
+
+#: Virtual-address region carved out for logs: each thread gets a
+#: disjoint 16 MB window far above any workload data address.
+LOG_REGION_BASE_BLOCK = 1 << 40
+LOG_REGION_BLOCKS_PER_THREAD = 1 << 18
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One log entry: a token credit and (for writes) the old value."""
+
+    block: int
+    tokens: int
+    is_write: bool
+
+    @property
+    def words(self) -> int:
+        """Log space the record occupies."""
+        return WRITE_RECORD_WORDS if self.is_write else READ_RECORD_WORDS
+
+
+class TmLog:
+    """Software-visible log of one thread.
+
+    Besides the records, the log tracks its bump pointer in words so
+    the blocks it occupies — and therefore the coherence traffic of
+    appending and walking — can be modelled faithfully.
+    """
+
+    def __init__(self, thread_id: int):
+        self._thread_id = thread_id
+        self._base_block = (LOG_REGION_BASE_BLOCK
+                            + thread_id * LOG_REGION_BLOCKS_PER_THREAD)
+        self._records: List[LogRecord] = []
+        self._pointer_words = 0
+        #: High-water mark across the thread's lifetime (diagnostics).
+        self.max_words = 0
+
+    @property
+    def thread_id(self) -> int:
+        return self._thread_id
+
+    @property
+    def records(self) -> Tuple[LogRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._records)
+
+    @property
+    def pointer_words(self) -> int:
+        """Current bump-pointer offset in words."""
+        return self._pointer_words
+
+    def is_empty(self) -> bool:
+        return not self._records
+
+    def _block_of_word(self, word_offset: int) -> int:
+        return self._base_block + (word_offset * 8 >> BLOCK_SHIFT)
+
+    def current_block(self) -> int:
+        """Log block the next append will write to."""
+        return self._block_of_word(self._pointer_words)
+
+    def append(self, block: int, tokens: int,
+               is_write: bool) -> Tuple[int, ...]:
+        """Append a record; returns the log block(s) the write touches.
+
+        The executor issues a store access to each returned block so
+        that log-write stalls show up in the timing model.
+        """
+        if tokens <= 0:
+            raise TransactionError("log record must credit at least 1 token")
+        record = LogRecord(block, tokens, is_write)
+        first = self._block_of_word(self._pointer_words)
+        self._pointer_words += record.words
+        last = self._block_of_word(self._pointer_words - 1)
+        self._records.append(record)
+        self.max_words = max(self.max_words, self._pointer_words)
+        if first == last:
+            return (first,)
+        return tuple(range(first, last + 1))
+
+    def reset(self) -> None:
+        """Fast release: drop all records by resetting the pointer."""
+        self._records.clear()
+        self._pointer_words = 0
+
+    def walk_forward(self) -> Iterator[Tuple[LogRecord, int]]:
+        """Yield (record, log_block) oldest-first (token release order)."""
+        offset = 0
+        for record in self._records:
+            yield record, self._block_of_word(offset)
+            offset += record.words
+
+    def walk_backward(self) -> Iterator[Tuple[LogRecord, int]]:
+        """Yield (record, log_block) newest-first (abort/undo order).
+
+        LogTM-style undo must restore old values last-write-first so
+        that a block written twice ends at its pre-transaction value.
+        """
+        offsets = []
+        offset = 0
+        for record in self._records:
+            offsets.append(offset)
+            offset += record.words
+        for record, start in zip(reversed(self._records), reversed(offsets)):
+            yield record, self._block_of_word(start)
+
+    def token_credits(self) -> dict:
+        """Total tokens credited per block — the log side of the books."""
+        credits: dict = {}
+        for record in self._records:
+            credits[record.block] = credits.get(record.block, 0) + record.tokens
+        return credits

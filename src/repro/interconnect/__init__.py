@@ -1,0 +1,5 @@
+"""On-chip interconnect model (tiled topology, hop latency)."""
+
+from repro.interconnect.topology import TiledTopology, TilePosition
+
+__all__ = ["TiledTopology", "TilePosition"]

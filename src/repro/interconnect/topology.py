@@ -1,0 +1,109 @@
+"""Tiled on-chip interconnect: hop-count latency model.
+
+The paper's base system connects 32 cores and 32 L2 banks with a
+packet-switched interconnect organized as 8 clusters of 4 cores, with
+64-byte links and adaptive routing.  We do not simulate packets or
+contention; instead every protocol action is charged a latency
+proportional to the Manhattan hop distance between the endpoints on a
+grid of cluster tiles.  Each cluster tile hosts its 4 cores and a
+slice of the L2 banks, and memory controllers sit at the grid edges.
+This keeps the relative cost of local vs. remote accesses — what the
+paper's results depend on — without a cycle-accurate network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TilePosition:
+    """Grid coordinates of a cluster tile."""
+
+    x: int
+    y: int
+
+    def hops_to(self, other: "TilePosition") -> int:
+        """Manhattan distance in tile hops."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+class TiledTopology:
+    """Maps cores, L2 banks, and memory controllers onto a tile grid.
+
+    Clusters are laid out row-major on the smallest near-square grid
+    that fits them (8 clusters -> 4x2).  L2 banks are distributed
+    round-robin across clusters; memory controllers attach to the
+    first tile of each grid row, mirroring edge placement on real
+    CMPs.
+    """
+
+    def __init__(self, config: SystemConfig):
+        self._config = config
+        clusters = config.clusters
+        self._grid_w = self._pick_width(clusters)
+        self._grid_h = (clusters + self._grid_w - 1) // self._grid_w
+        if self._grid_w * self._grid_h < clusters:
+            raise ConfigError("grid does not fit all clusters")
+        self._cluster_pos = [
+            TilePosition(i % self._grid_w, i // self._grid_w)
+            for i in range(clusters)
+        ]
+        self._bank_cluster = [
+            bank % clusters for bank in range(config.l2_banks)
+        ]
+        rows = list(range(self._grid_h))
+        self._mc_pos = [
+            TilePosition(0, rows[i % len(rows)])
+            for i in range(config.memory_controllers)
+        ]
+
+    @staticmethod
+    def _pick_width(clusters: int) -> int:
+        width = int(math.sqrt(clusters))
+        while width > 1 and clusters % width != 0:
+            width -= 1
+        return max(width, 1)
+
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        """(width, height) of the tile grid."""
+        return self._grid_w, self._grid_h
+
+    def core_position(self, core: int) -> TilePosition:
+        """Tile hosting a core."""
+        return self._cluster_pos[self._config.cluster_of(core)]
+
+    def bank_position(self, bank: int) -> TilePosition:
+        """Tile hosting an L2 bank (and its directory slice)."""
+        return self._cluster_pos[self._bank_cluster[bank]]
+
+    def controller_position(self, controller: int) -> TilePosition:
+        """Tile adjacent to a memory controller."""
+        return self._mc_pos[controller % len(self._mc_pos)]
+
+    def controller_of(self, block_addr: int) -> int:
+        """Memory controller serving a block (address-interleaved)."""
+        return block_addr % self._config.memory_controllers
+
+    def core_to_bank_hops(self, core: int, bank: int) -> int:
+        """Hops from a core to an L2 bank."""
+        return self.core_position(core).hops_to(self.bank_position(bank))
+
+    def core_to_core_hops(self, a: int, b: int) -> int:
+        """Hops between two cores (for forwarded requests/acks)."""
+        return self.core_position(a).hops_to(self.core_position(b))
+
+    def bank_to_memory_hops(self, bank: int, block_addr: int) -> int:
+        """Hops from an L2 bank to the block's memory controller."""
+        mc = self.controller_of(block_addr)
+        return self.bank_position(bank).hops_to(self.controller_position(mc))
+
+    def latency(self, hops: int) -> int:
+        """Cycles for a one-way message crossing ``hops`` tiles."""
+        return hops * self._config.latency.hop

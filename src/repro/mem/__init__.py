@@ -1,0 +1,27 @@
+"""Memory-side models: home metabit storage and ECC accounting."""
+
+from repro.mem.metabit_store import (
+    ATTR_BITS,
+    ATTR_MAX,
+    STATE_COUNT,
+    STATE_OVERFLOW,
+    STATE_READER,
+    STATE_WRITER,
+    EccBudget,
+    MetabitStore,
+    decode_memory_metabits,
+    encode_memory_metabits,
+)
+
+__all__ = [
+    "ATTR_BITS",
+    "ATTR_MAX",
+    "STATE_COUNT",
+    "STATE_OVERFLOW",
+    "STATE_READER",
+    "STATE_WRITER",
+    "EccBudget",
+    "MetabitStore",
+    "decode_memory_metabits",
+    "encode_memory_metabits",
+]

@@ -1,0 +1,36 @@
+"""Transaction runtime: executor, contention management, statistics."""
+
+from repro.runtime.contention import (
+    ContentionPolicy,
+    Decision,
+    RequesterLosesPolicy,
+    RequesterWinsPolicy,
+    Resolution,
+    TimestampManager,
+)
+from repro.runtime.executor import (
+    DEFAULT_QUANTUM,
+    Executor,
+    RunResult,
+    run_workload,
+)
+from repro.runtime.history import CommittedTxn, HistoryValidator
+from repro.runtime.stats import ReleaseBucket, RunStats, speedup
+
+__all__ = [
+    "CommittedTxn",
+    "ContentionPolicy",
+    "DEFAULT_QUANTUM",
+    "Decision",
+    "RequesterLosesPolicy",
+    "RequesterWinsPolicy",
+    "Executor",
+    "HistoryValidator",
+    "ReleaseBucket",
+    "Resolution",
+    "RunResult",
+    "RunStats",
+    "TimestampManager",
+    "run_workload",
+    "speedup",
+]

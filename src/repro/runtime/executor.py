@@ -1,0 +1,466 @@
+"""Trace-driven multi-threaded executor.
+
+Drives one :class:`~repro.workloads.trace.WorkloadTrace` through an
+HTM machine, interleaving threads by a min-clock discrete scheduler:
+the thread with the smallest local cycle count runs next, for up to a
+small quantum of cycles, so cross-thread interactions happen in
+near-global-time order without simulating every core every cycle.
+
+The executor owns all *policy*: timestamp contention management,
+dooming losers, stall/retry with escalation, abort back-off, and
+transaction restart (re-running the trace region from its BEGIN).
+It also aggregates the statistics the paper's figures and tables are
+built from.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.config import RunConfig
+from repro.common.errors import SimulationError
+from repro.htm.base import HTM, ConflictKind
+from repro.runtime.contention import Resolution, TimestampManager
+from repro.runtime.history import HistoryValidator
+from repro.runtime.stats import RunStats
+from repro.workloads.trace import (
+    OP_BEGIN,
+    OP_COMMIT,
+    OP_COMPUTE,
+    OP_LOCK,
+    OP_NT_READ,
+    OP_NT_WRITE,
+    OP_READ,
+    OP_SYSCALL,
+    OP_UNLOCK,
+    OP_WRITE,
+    WorkloadTrace,
+    validate_trace,
+)
+
+#: Scheduler quantum: a thread runs at most this many cycles per turn.
+DEFAULT_QUANTUM = 200
+
+#: Hard cap on retries of one transaction before the run is declared
+#: livelocked (a simulator bug; the timestamp policy should converge).
+MAX_TXN_ATTEMPTS = 50_000
+
+
+class _Thread:
+    """Executor-side state of one simulated thread."""
+
+    __slots__ = (
+        "tid", "core", "ops", "pc", "clock", "in_txn", "begin_pc",
+        "nesting", "txn_epoch", "doomed_epoch", "attempts", "stalls",
+        "txn_start", "done", "blocked_lock",
+    )
+
+    def __init__(self, tid: int, core: int, ops: List) -> None:
+        self.tid = tid
+        self.core = core
+        self.ops = ops
+        self.pc = 0
+        self.clock = 0
+        self.in_txn = False
+        self.begin_pc = -1
+        self.nesting = 0
+        self.txn_epoch = 0
+        self.doomed_epoch = -1
+        self.attempts = 0
+        self.stalls = 0
+        self.txn_start = 0
+        self.done = not ops
+        self.blocked_lock: Optional[int] = None
+
+    @property
+    def doomed(self) -> bool:
+        return self.in_txn and self.doomed_epoch == self.txn_epoch
+
+
+@dataclass
+class RunResult:
+    """Executor output: statistics plus the commit history."""
+
+    stats: RunStats
+    history: HistoryValidator
+
+
+class Executor:
+    """Runs a workload trace on an HTM machine."""
+
+    def __init__(self, htm: HTM, trace: WorkloadTrace, config: RunConfig,
+                 quantum: int = DEFAULT_QUANTUM,
+                 validate: bool = True,
+                 track_history: bool = True,
+                 preemptive: Optional[bool] = None,
+                 timeslice: int = 50_000,
+                 policy: Optional[TimestampManager] = None):
+        if validate:
+            validate_trace(trace)
+        ncores = htm.mem.config.num_cores
+        if preemptive is None:
+            preemptive = trace.num_threads > ncores
+        if trace.num_threads > ncores and not preemptive:
+            raise SimulationError(
+                f"{trace.num_threads} threads exceed {ncores} cores; "
+                "run with preemptive=True to time-share"
+            )
+        self._preemptive = preemptive
+        self._timeslice = timeslice
+        self._htm = htm
+        self._trace = trace
+        self._config = config
+        self._quantum = quantum
+        self._manager = policy if policy is not None else \
+            TimestampManager(config.htm, seed=config.seed)
+        self._threads = [
+            _Thread(t.thread_id, core % ncores, t.ops)
+            for core, t in enumerate(trace.threads)
+        ]
+        self._by_tid: Dict[int, _Thread] = {
+            t.tid: t for t in self._threads
+        }
+        self._locks: Dict[int, tuple] = {}
+        self._stats = RunStats(workload=trace.name, variant=htm.name)
+        # Transaction priorities come from a global begin sequence,
+        # not thread-local clocks: under time-sharing, clocks skew by
+        # whole timeslices, and skewed stamps starve threads whose
+        # clocks run ahead.
+        self._begin_seq = 0
+        self._history = HistoryValidator(enabled=track_history)
+        self._commit_budget = config.max_commits
+        self._audit = config.audit
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute the whole trace; returns stats and commit history."""
+        if self._preemptive:
+            self._run_preemptive()
+        else:
+            self._run_dedicated()
+        stats = self._stats
+        stats.makespan = max((t.clock for t in self._threads), default=0)
+        stats.machine = self._htm.stats.snapshot()
+        stats.machine["_threads"] = len(self._threads)
+        if self._audit:
+            self._htm.audit()
+        self._history.finish()
+        return RunResult(stats=stats, history=self._history)
+
+    def _run_dedicated(self) -> None:
+        """One thread per core: min-clock quantum interleaving."""
+        heap = [(t.clock, t.tid) for t in self._threads if not t.done]
+        heapq.heapify(heap)
+        while heap:
+            _, tid = heapq.heappop(heap)
+            thread = self._by_tid[tid]
+            if thread.done:
+                continue
+            self._run_quantum(thread)
+            if not thread.done:
+                heapq.heappush(heap, (thread.clock, thread.tid))
+
+    def _run_preemptive(self) -> None:
+        """Time-share more threads than cores (OS scheduling model).
+
+        Each dispatch runs a thread for up to a timeslice on the core
+        that frees earliest (with affinity for its previous core).
+        Placing a different thread on a core issues the HTM's
+        context-switch instruction for the old occupant — on TokenTM
+        that is the flash-OR, after which the descheduled transaction
+        loses fast release but keeps its tokens (Section 4.4).
+        """
+        lat = self._htm.mem.config.latency
+        ncores = self._htm.mem.config.num_cores
+        core_free = [0] * ncores
+        core_thread: List[Optional[int]] = [None] * ncores
+        heap = [(t.clock, t.tid) for t in self._threads if not t.done]
+        heapq.heapify(heap)
+        while heap:
+            _, tid = heapq.heappop(heap)
+            thread = self._by_tid[tid]
+            if thread.done:
+                continue
+            # Affinity: keep the previous core unless another frees
+            # strictly earlier (avoids gratuitous switches).
+            best = min(range(ncores), key=lambda c: core_free[c])
+            core = thread.core
+            if (core_thread[core] != thread.tid
+                    or core_free[core] > core_free[best]):
+                core = best
+            start = max(thread.clock, core_free[core])
+            if core_thread[core] != thread.tid:
+                if core_thread[core] is not None:
+                    start += self._htm.context_switch(core)
+                start += lat.os_switch
+                self._htm.schedule(core, thread.tid)
+                core_thread[core] = thread.tid
+                self._stats.preemptions += 1
+            thread.clock = start
+            thread.core = core
+            deadline = thread.clock + self._timeslice
+            while not thread.done and thread.clock < deadline:
+                self._run_quantum(thread)
+            core_free[core] = thread.clock
+            if not thread.done:
+                heapq.heappush(heap, (thread.clock, thread.tid))
+
+    # ------------------------------------------------------------------
+
+    def _run_quantum(self, thread: _Thread) -> None:
+        deadline = thread.clock + self._quantum
+        while not thread.done and thread.clock < deadline:
+            if thread.doomed:
+                self._abort(thread)
+                continue
+            if thread.pc >= len(thread.ops):
+                thread.done = True
+                return
+            opcode, arg = thread.ops[thread.pc]
+            if opcode == OP_COMPUTE or opcode == OP_SYSCALL:
+                thread.clock += arg
+                thread.pc += 1
+            elif opcode == OP_READ:
+                self._txn_access(thread, arg, is_write=False)
+            elif opcode == OP_WRITE:
+                self._txn_access(thread, arg, is_write=True)
+            elif opcode == OP_BEGIN:
+                self._begin(thread)
+            elif opcode == OP_COMMIT:
+                self._commit(thread)
+            elif opcode == OP_NT_READ:
+                self._nontxn_access(thread, arg, is_write=False)
+            elif opcode == OP_NT_WRITE:
+                self._nontxn_access(thread, arg, is_write=True)
+            elif opcode == OP_LOCK:
+                if not self._lock(thread, arg):
+                    return  # blocked; re-queued with a later clock
+            elif opcode == OP_UNLOCK:
+                self._unlock(thread, arg)
+            else:  # pragma: no cover - validate_trace prevents this
+                raise SimulationError(f"unknown opcode {opcode}")
+
+    # -- transactions -----------------------------------------------------
+
+    def _begin(self, thread: _Thread) -> None:
+        if thread.in_txn:
+            # Flat (closed) nesting: an inner BEGIN is subsumed by
+            # the enclosing transaction; only a counter moves.
+            thread.nesting += 1
+            thread.clock += 1
+            thread.pc += 1
+            return
+        thread.clock += self._htm.begin(thread.core, thread.tid)
+        thread.in_txn = True
+        thread.nesting = 1
+        thread.begin_pc = thread.pc
+        thread.txn_epoch += 1
+        thread.txn_start = thread.clock
+        thread.stalls = 0
+        self._begin_seq += 1
+        self._manager.transaction_started(thread.tid, self._begin_seq)
+        self._history.begin(thread.tid, thread.clock)
+        thread.pc += 1
+
+    def _commit(self, thread: _Thread) -> None:
+        if thread.nesting > 1:
+            # Closing an inner flat-nested transaction: no machine
+            # action until the outermost commit.
+            thread.nesting -= 1
+            thread.clock += 1
+            thread.pc += 1
+            return
+        tid, core = thread.tid, thread.core
+        read_set = self._htm.read_set_size(tid)
+        write_set = self._htm.write_set_size(tid)
+        # Isolation ends when the machine releases (at the start of
+        # commit processing); the history records that point, not the
+        # latency-charged completion, so the serializability oracle
+        # is not confused by commit-latency clock skew.
+        release_point = thread.clock
+        outcome = self._htm.commit(core, tid)
+        thread.clock += outcome.latency
+        thread.in_txn = False
+        thread.nesting = 0
+        thread.attempts = 0
+        thread.doomed_epoch = -1
+        self._manager.transaction_finished(tid)
+        self._stats.record_commit(
+            outcome.used_fast_release, read_set, write_set,
+            thread.clock - thread.txn_start,
+            outcome.software_release_cycles,
+        )
+        self._history.commit(tid, release_point)
+        thread.pc += 1
+        if self._commit_budget is not None:
+            self._commit_budget -= 1
+            if self._commit_budget <= 0:
+                for other in self._threads:
+                    if other.in_txn and other.tid != tid:
+                        # Let live transactions finish; just stop
+                        # starting new work.
+                        continue
+                self._truncate_after_budget()
+
+    def _truncate_after_budget(self) -> None:
+        """Commit budget exhausted: threads stop at their next BEGIN."""
+        for other in self._threads:
+            if not other.in_txn:
+                other.done = True
+
+    def _abort(self, thread: _Thread) -> None:
+        outcome = self._htm.abort(thread.core, thread.tid)
+        thread.clock += outcome.latency
+        thread.in_txn = False
+        thread.nesting = 0  # flat nesting: abort unrolls to outermost
+        thread.doomed_epoch = -1
+        thread.attempts += 1
+        if thread.attempts > MAX_TXN_ATTEMPTS:
+            raise SimulationError(
+                f"thread {thread.tid} retried a transaction "
+                f"{thread.attempts} times; livelock"
+            )
+        self._manager.transaction_aborted(thread.tid)
+        self._stats.aborts += 1
+        backoff = self._manager.backoff_delay(thread.attempts)
+        thread.clock += backoff
+        self._stats.backoff_cycles += backoff
+        self._history.abort(thread.tid, thread.clock)
+        thread.pc = thread.begin_pc
+
+    def _txn_access(self, thread: _Thread, block: int,
+                    is_write: bool) -> None:
+        tid, core = thread.tid, thread.core
+        grant_point = thread.clock  # isolation starts at the grant
+        if is_write:
+            outcome = self._htm.write(core, tid, block)
+        else:
+            outcome = self._htm.read(core, tid, block)
+        thread.clock += outcome.latency
+        if outcome.granted:
+            thread.stalls = 0
+            self._history.access(tid, block, is_write, grant_point)
+            thread.pc += 1
+            return
+        self._resolve_conflict(thread, outcome.conflict)
+
+    def _resolve_conflict(self, thread: _Thread, info) -> None:
+        assert info is not None
+        if not info.complete:
+            hints = self._htm.identify_conflictors(info)
+            info = type(info)(info.block, info.kind, hints=hints,
+                              complete=True,
+                              false_positive=info.false_positive)
+        decision = self._manager.resolve(
+            thread.tid, info, self._htm.active_tids()
+        )
+        if (decision.resolution is Resolution.STALL_AND_RETRY
+                and not decision.victims
+                and info.kind is not ConflictKind.SERIALIZATION
+                and thread.stalls >= 4):
+            # The hardware hints name no live transaction (token
+            # identity labels can go stale once fission/fusion
+            # anonymizes counts), yet the conflict persists: trap to
+            # the software contention manager, which walks the logs
+            # for the true holders (Section 5.2's hardest case).
+            refreshed = self._htm.identify_conflictors(
+                type(info)(info.block, info.kind, hints=info.hints,
+                           complete=False)
+            )
+            if refreshed:
+                info = type(info)(info.block, info.kind,
+                                  hints=tuple(refreshed), complete=True)
+                decision = self._manager.resolve(
+                    thread.tid, info, self._htm.active_tids()
+                )
+        if decision.resolution is Resolution.ABORT_SELF:
+            self._abort(thread)
+            return
+        winning = False
+        for victim_tid in decision.victims:
+            victim = self._by_tid.get(victim_tid)
+            if victim is not None and victim.in_txn:
+                victim.doomed_epoch = victim.txn_epoch
+                winning = True
+        thread.stalls += 1
+        exempt = (winning
+                  or info.kind is ConflictKind.SERIALIZATION)
+        if not exempt and thread.stalls > self._config.htm.max_stall_retries:
+            self._abort(thread)
+            return
+        delay = self._manager.stall_delay(thread.stalls, winning=winning)
+        thread.clock += delay
+        self._stats.stall_events += 1
+        self._stats.stall_cycles += delay
+
+    def _nontxn_access(self, thread: _Thread, block: int,
+                       is_write: bool) -> None:
+        tid, core = thread.tid, thread.core
+        if is_write:
+            outcome = self._htm.nontxn_write(core, tid, block)
+        else:
+            outcome = self._htm.nontxn_read(core, tid, block)
+        thread.clock += outcome.latency
+        if outcome.granted:
+            thread.pc += 1
+            return
+        info = outcome.conflict
+        assert info is not None
+        if not info.complete:
+            hints = self._htm.identify_conflictors(info)
+            info = type(info)(info.block, info.kind, hints=hints,
+                              complete=True)
+        decision = self._manager.resolve(None, info, self._htm.active_tids())
+        for victim_tid in decision.victims:
+            victim = self._by_tid.get(victim_tid)
+            if victim is not None and victim.in_txn:
+                victim.doomed_epoch = victim.txn_epoch
+        delay = self._manager.stall_delay(1)
+        thread.clock += delay
+        self._stats.stall_cycles += delay
+
+    # -- locks (for lock-based workloads) ----------------------------------
+
+    def _lock(self, thread: _Thread, lock_id: int) -> bool:
+        """Acquire a lock in *simulated* time.
+
+        Lock state is (owner, free_from): because a thread may run a
+        whole quantum ahead, a release can be recorded at a simulated
+        time later than another thread's current clock — that thread
+        must spin forward to ``free_from`` before acquiring.
+        """
+        owner, free_from = self._locks.get(lock_id, (None, 0))
+        if owner is not None:
+            # Spin: retry after a delay; the scheduler runs the owner.
+            thread.blocked_lock = lock_id
+            thread.clock += 50
+            return False
+        if thread.clock < free_from:
+            thread.clock = free_from  # spun until the release
+        self._locks[lock_id] = (thread.tid, free_from)
+        thread.clock += 10  # atomic RMW cost
+        thread.blocked_lock = None
+        thread.pc += 1
+        return True
+
+    def _unlock(self, thread: _Thread, lock_id: int) -> None:
+        owner, _ = self._locks.get(lock_id, (None, 0))
+        if owner != thread.tid:
+            raise SimulationError(
+                f"thread {thread.tid} unlocking lock {lock_id} it "
+                "does not hold"
+            )
+        thread.clock += 5
+        self._locks[lock_id] = (None, thread.clock)
+        thread.pc += 1
+
+
+def run_workload(htm: HTM, trace: WorkloadTrace,
+                 config: Optional[RunConfig] = None,
+                 **kwargs) -> RunResult:
+    """One-call convenience wrapper around :class:`Executor`."""
+    cfg = config or RunConfig()
+    return Executor(htm, trace, cfg, **kwargs).run()

@@ -1,0 +1,150 @@
+"""Commit-history recording and serializability checking.
+
+A test oracle, not part of the simulated hardware: it records, for
+every *committed* transaction, when it began, committed, and first
+accessed each block, then checks the isolation guarantee an eager HTM
+must provide — two committed transactions with conflicting accesses
+to a block must not have *held* that block concurrently (a writer
+holds a block from first write to commit; a reader from first read to
+commit; writer/writer and reader/writer holds must not overlap).
+
+Thread clocks in the executor are local and only quantum-synchronized,
+so the overlap test allows a small skew tolerance; tests that want an
+exact check run the executor with ``quantum=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SerializabilityError
+
+
+@dataclass
+class CommittedTxn:
+    """Access intervals of one committed transaction."""
+
+    tid: int
+    seq: int
+    begin_time: int
+    commit_time: int
+    #: block -> (first read time or None, first write time or None)
+    accesses: Dict[int, Tuple[Optional[int], Optional[int]]]
+
+
+class _LiveTxn:
+    __slots__ = ("tid", "begin_time", "reads", "writes", "order")
+
+    def __init__(self, tid: int, begin_time: int):
+        self.tid = tid
+        self.begin_time = begin_time
+        self.reads: Dict[int, int] = {}
+        self.writes: Dict[int, int] = {}
+        self.order: List[int] = []
+
+
+class HistoryValidator:
+    """Records transactional history and validates isolation."""
+
+    def __init__(self, enabled: bool = True, skew_tolerance: int = 0):
+        self._enabled = enabled
+        self._skew = skew_tolerance
+        self._live: Dict[int, _LiveTxn] = {}
+        self.committed: List[CommittedTxn] = []
+        self.aborted_count = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    # -- recording ---------------------------------------------------------
+
+    def begin(self, tid: int, now: int) -> None:
+        if not self._enabled:
+            return
+        self._live[tid] = _LiveTxn(tid, now)
+
+    def access(self, tid: int, block: int, is_write: bool,
+               now: int = 0) -> None:
+        if not self._enabled:
+            return
+        txn = self._live.get(tid)
+        if txn is None:
+            return
+        target = txn.writes if is_write else txn.reads
+        if block not in target:
+            target[block] = now
+
+    def abort(self, tid: int, now: int) -> None:
+        if not self._enabled:
+            return
+        self._live.pop(tid, None)
+        self.aborted_count += 1
+
+    def commit(self, tid: int, now: int) -> None:
+        if not self._enabled:
+            return
+        txn = self._live.pop(tid, None)
+        if txn is None:
+            return
+        accesses: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+        for block, when in txn.reads.items():
+            accesses[block] = (when, None)
+        for block, when in txn.writes.items():
+            read_time = accesses.get(block, (None, None))[0]
+            accesses[block] = (read_time, when)
+        self.committed.append(
+            CommittedTxn(tid, len(self.committed), txn.begin_time, now,
+                         accesses)
+        )
+
+    def finish(self) -> None:
+        """End of run: any still-live recording is discarded."""
+        self._live.clear()
+
+    # -- validation ----------------------------------------------------------
+
+    def check_serializable(self, skew_tolerance: Optional[int] = None) -> None:
+        """Raise :class:`SerializabilityError` on an isolation breach.
+
+        A transaction holds an accessed block from its *first access*
+        (write time for written blocks, since the write hold is the
+        exclusive one) to its commit.  The skew tolerance guards
+        against executor clock skew across threads.
+        """
+        skew = self._skew if skew_tolerance is None else skew_tolerance
+        by_block: Dict[int, List[Tuple[int, int, bool, int]]] = {}
+        for txn in self.committed:
+            for block, (read_t, write_t) in txn.accesses.items():
+                holds = by_block.setdefault(block, [])
+                # A block both read and written contributes two holds:
+                # a shared hold from the read and an exclusive hold
+                # from the (possibly later) write.
+                if read_t is not None:
+                    holds.append((read_t, txn.commit_time, False, txn.tid))
+                if write_t is not None:
+                    holds.append((write_t, txn.commit_time, True, txn.tid))
+        for block, holds in by_block.items():
+            writers = [h for h in holds if h[2]]
+            if not writers:
+                continue
+            holds.sort()
+            for i, (s1, c1, w1, t1) in enumerate(holds):
+                for s2, c2, w2, t2 in holds[i + 1:]:
+                    if s2 >= c1 - skew:
+                        break  # sorted by start; no further overlaps
+                    if t1 == t2 or not (w1 or w2):
+                        continue
+                    overlap = min(c1, c2) - max(s1, s2)
+                    if overlap > skew:
+                        raise SerializabilityError(
+                            f"block {block:#x}: transactions {t1} and "
+                            f"{t2} held conflicting access concurrently "
+                            f"(overlap {overlap} cycles)"
+                        )
+
+    def commit_order(self) -> List[int]:
+        """TIDs in commit order (repeated per transaction)."""
+        ordered = sorted(self.committed, key=lambda t: (t.commit_time, t.seq))
+        return [t.tid for t in ordered]

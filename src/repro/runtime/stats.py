@@ -1,0 +1,145 @@
+"""Run-level statistics: what Figures 1/5 and Table 6 are built from.
+
+Per-transaction records are aggregated on the fly into fast-release
+and software-release buckets (Table 6's two column groups) plus a few
+global counters; the executor never stores per-transaction lists for
+large runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class ReleaseBucket:
+    """Aggregate over transactions that committed one release way."""
+
+    count: int = 0
+    read_set_sum: int = 0
+    write_set_sum: int = 0
+    duration_sum: int = 0
+    release_cycles_sum: int = 0
+
+    def add(self, read_set: int, write_set: int, duration: int,
+            release_cycles: int) -> None:
+        self.count += 1
+        self.read_set_sum += read_set
+        self.write_set_sum += write_set
+        self.duration_sum += duration
+        self.release_cycles_sum += release_cycles
+
+    @property
+    def avg_read_set(self) -> float:
+        return self.read_set_sum / self.count if self.count else 0.0
+
+    @property
+    def avg_write_set(self) -> float:
+        return self.write_set_sum / self.count if self.count else 0.0
+
+    @property
+    def avg_duration(self) -> float:
+        return self.duration_sum / self.count if self.count else 0.0
+
+    @property
+    def avg_release_cycles(self) -> float:
+        return self.release_cycles_sum / self.count if self.count else 0.0
+
+
+@dataclass
+class RunStats:
+    """Everything measured in one simulated run."""
+
+    workload: str = ""
+    variant: str = ""
+    #: Execution time: the max over per-thread completion clocks.
+    makespan: int = 0
+    commits: int = 0
+    aborts: int = 0
+    preemptions: int = 0
+    stall_events: int = 0
+    stall_cycles: int = 0
+    backoff_cycles: int = 0
+    max_read_set: int = 0
+    max_write_set: int = 0
+    fast: ReleaseBucket = field(default_factory=ReleaseBucket)
+    software: ReleaseBucket = field(default_factory=ReleaseBucket)
+    #: Copied from the machine's HTMStats at run end.
+    machine: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    def record_commit(self, used_fast: bool, read_set: int, write_set: int,
+                      duration: int, release_cycles: int) -> None:
+        self.commits += 1
+        self.max_read_set = max(self.max_read_set, read_set)
+        self.max_write_set = max(self.max_write_set, write_set)
+        bucket = self.fast if used_fast else self.software
+        bucket.add(read_set, write_set, duration, release_cycles)
+
+    @property
+    def fast_release_fraction(self) -> float:
+        """Table 6 column 2: % of transactions committing fast."""
+        if not self.commits:
+            return 0.0
+        return self.fast.count / self.commits
+
+    @property
+    def avg_read_set(self) -> float:
+        total = self.fast.read_set_sum + self.software.read_set_sum
+        return total / self.commits if self.commits else 0.0
+
+    @property
+    def avg_write_set(self) -> float:
+        total = self.fast.write_set_sum + self.software.write_set_sum
+        return total / self.commits if self.commits else 0.0
+
+    @property
+    def log_stall_fraction(self) -> float:
+        """Table 6's final column: log stalls / total execution time.
+
+        Total execution time is makespan x thread count (the paper's
+        percentage is over aggregate execution).
+        """
+        stalls = self.machine.get("log_stall_cycles", 0)
+        denom = self.makespan * max(1, self.machine.get("_threads", 1))
+        return stalls / denom if denom else 0.0
+
+    @property
+    def abort_rate(self) -> float:
+        attempts = self.commits + self.aborts
+        return self.aborts / attempts if attempts else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat dict for table formatting / JSON dumps."""
+        return {
+            "workload": self.workload,
+            "variant": self.variant,
+            "makespan": self.makespan,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "abort_rate": self.abort_rate,
+            "fast_release_fraction": self.fast_release_fraction,
+            "avg_read_set": self.avg_read_set,
+            "avg_write_set": self.avg_write_set,
+            "max_read_set": self.max_read_set,
+            "max_write_set": self.max_write_set,
+            "fast_avg_duration": self.fast.avg_duration,
+            "software_avg_duration": self.software.avg_duration,
+            "software_avg_release_cycles": self.software.avg_release_cycles,
+            "stall_cycles": self.stall_cycles,
+            "backoff_cycles": self.backoff_cycles,
+            "machine": dict(self.machine),
+        }
+
+
+def speedup(baseline: RunStats, other: RunStats) -> float:
+    """Execution-time speedup of ``other`` relative to ``baseline``.
+
+    Figure 5 plots speedup normalized to LogTM-SE_Perf: values below
+    1.0 mean ``other`` is slower than the baseline.
+    """
+    if other.makespan == 0:
+        return float("inf")
+    return baseline.makespan / other.makespan

@@ -1,0 +1,23 @@
+"""OS-facing support: paging, context switching, System-V sharing."""
+
+from repro.syssupport.contextswitch import CoreScheduler, SwitchRecord
+from repro.syssupport.paging import (
+    BLOCKS_PER_PAGE,
+    PageImage,
+    PageManager,
+    page_blocks,
+    page_of,
+)
+from repro.syssupport.sysv import SharedSegment, TidAuthority
+
+__all__ = [
+    "BLOCKS_PER_PAGE",
+    "CoreScheduler",
+    "PageImage",
+    "PageManager",
+    "SharedSegment",
+    "SwitchRecord",
+    "TidAuthority",
+    "page_blocks",
+    "page_of",
+]

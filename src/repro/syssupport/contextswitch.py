@@ -1,0 +1,83 @@
+"""Context-switch support (Sections 4.4 and 5.3).
+
+TokenTM provides an instruction that frees the R and W metabits for
+the next thread in constant time: a flash-OR of R into R' and W into
+W' across the L1.  The descheduled transaction keeps its tokens (its
+log holds the credits; the primed bits hold the debits) but can never
+use fast release again.
+
+:class:`CoreScheduler` models an OS scheduler over the simulated
+cores: it performs the deschedule instruction, remembers which thread
+ran where, and reschedules threads — possibly on *different* cores,
+which works because the metastate identifies threads by TID, not by
+core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.htm.tokentm import TokenTM
+
+
+@dataclass
+class SwitchRecord:
+    """One deschedule event, for diagnostics."""
+
+    core: int
+    tid: int
+    cycles: int
+
+
+class CoreScheduler:
+    """OS-scheduler model issuing TokenTM's switch instruction."""
+
+    def __init__(self, htm: TokenTM):
+        self._htm = htm
+        self._running: Dict[int, Optional[int]] = {}
+        self.history: List[SwitchRecord] = []
+
+    def start(self, core: int, tid: int) -> None:
+        """Place a thread on an idle core (no prior occupant)."""
+        if self._running.get(core) is not None:
+            raise SimulationError(f"core {core} already running a thread")
+        self._running[core] = tid
+        self._htm.schedule(core, tid)
+
+    def deschedule(self, core: int) -> int:
+        """Remove the running thread; returns the switch cycle cost.
+
+        Issues the flash-OR instruction so the core's R/W bits are
+        freed for whatever runs next.
+        """
+        tid = self._running.get(core)
+        if tid is None:
+            raise SimulationError(f"core {core} has no running thread")
+        cycles = self._htm.context_switch(core)
+        self._running[core] = None
+        self.history.append(SwitchRecord(core, tid, cycles))
+        return cycles
+
+    def resume(self, core: int, tid: int) -> None:
+        """Run a previously descheduled thread, on any idle core."""
+        self.start(core, tid)
+
+    def running(self, core: int) -> Optional[int]:
+        """TID currently on ``core``, if any."""
+        return self._running.get(core)
+
+    def migrate(self, from_core: int, to_core: int) -> int:
+        """Deschedule from one core and resume on another.
+
+        Returns the switch cost.  Works mid-transaction: TokenTM's
+        conflict detection is per-TID, so the transaction continues
+        on the new core (it just lost fast-release eligibility).
+        """
+        tid = self._running.get(from_core)
+        if tid is None:
+            raise SimulationError(f"core {from_core} has no thread")
+        cycles = self.deschedule(from_core)
+        self.resume(to_core, tid)
+        return cycles

@@ -1,0 +1,93 @@
+"""Paging support (Section 5.3).
+
+TokenTM's metastate lives with physical blocks, so paging needs three
+small VM-system hooks, borrowed from systems like the IBM AS/400:
+
+* clear metabits when a fresh physical page is handed out,
+* save metabits (alongside the data) on page-out,
+* restore them on page-in.
+
+:class:`PageManager` models this against a TokenTM machine: paging a
+page out force-evicts every cached copy of its blocks (fusing their
+metastate shards home, exactly as hardware writeback would), then
+detaches the home metabits into a swap image.  Transactions whose
+tokens were paged out keep running — their log still holds the
+credits — but they lose fast-release eligibility, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.errors import SimulationError
+from repro.htm.tokentm import TokenTM
+
+#: Blocks per page: 4 KB pages of 64-byte blocks.
+BLOCKS_PER_PAGE = 64
+
+
+def page_of(block: int) -> int:
+    """Page number containing a block."""
+    return block // BLOCKS_PER_PAGE
+
+
+def page_blocks(page: int) -> range:
+    """All block numbers of a page."""
+    start = page * BLOCKS_PER_PAGE
+    return range(start, start + BLOCKS_PER_PAGE)
+
+
+@dataclass
+class PageImage:
+    """Swap-resident image of one page's metabits."""
+
+    page: int
+    metabits: Dict[int, int] = field(default_factory=dict)
+
+
+class PageManager:
+    """VM-system model: page-out/page-in with metabit save/restore."""
+
+    def __init__(self, htm: TokenTM):
+        self._htm = htm
+        self._swapped: Dict[int, PageImage] = {}
+
+    @property
+    def swapped_pages(self) -> List[int]:
+        return sorted(self._swapped)
+
+    def page_out(self, page: int) -> PageImage:
+        """Evict a page: flush cached copies, save home metabits."""
+        if page in self._swapped:
+            raise SimulationError(f"page {page} already swapped out")
+        mem = self._htm.mem
+        for block in page_blocks(page):
+            # Non-silent eviction of every cached copy fuses each
+            # copy's metastate shard back to the home metabits.
+            for core in sorted(mem.holders(block)):
+                mem.evict(core, block)
+        image = PageImage(page)
+        image.metabits = self._htm._store.page_out(page_blocks(page))
+        self._swapped[page] = image
+        return image
+
+    def page_in(self, page: int) -> None:
+        """Restore a page's metabits from its swap image."""
+        image = self._swapped.pop(page, None)
+        if image is None:
+            raise SimulationError(f"page {page} is not swapped out")
+        self._htm._store.page_in(image.metabits)
+
+    def initialize_page(self, page: int) -> None:
+        """Fresh physical page: metabits must start cleared.
+
+        The VM system calls this when recycling a frame for a new
+        mapping; stale metabits from the previous owner would corrupt
+        token accounting.
+        """
+        if page in self._swapped:
+            raise SimulationError(
+                f"page {page} still has a swap image; page it in first"
+            )
+        self._htm._store.page_out(page_blocks(page))  # discard bits

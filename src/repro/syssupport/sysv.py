@@ -1,0 +1,139 @@
+"""System-V-style shared memory across processes (Section 5.3).
+
+The paper argues TokenTM may be the first HTM to support transactions
+over memory shared between *processes*: metastate attaches to
+physical pages, so every mapping sees the same token state.  Two
+requirements fall out, both modelled here:
+
+* TIDs must be unique across all processes sharing memory
+  (:class:`TidAuthority` hands out system-wide TIDs and enforces the
+  14-bit Attr-field limit);
+* contention managers of the sharing processes must coordinate —
+  :class:`SharedSegment` keeps the process registry a cross-process
+  conflict handler would consult.
+
+Copy-on-write sharing needs either no active transactions on the page
+or a software metastate fission; :meth:`SharedSegment.fork_cow_page`
+implements the check-and-split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.common.errors import SimulationError, TokenError
+from repro.core.fission import fission
+from repro.htm.tokentm import TokenTM
+from repro.mem.metabit_store import ATTR_MAX
+from repro.syssupport.paging import BLOCKS_PER_PAGE, page_blocks
+
+
+class TidAuthority:
+    """System-wide TID allocator.
+
+    TIDs are the only new resource TokenTM introduces; the OS manages
+    them without VMM involvement, but processes sharing memory must
+    draw from one namespace so metastate owner fields stay
+    unambiguous.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._by_process: Dict[int, Set[int]] = {}
+
+    def allocate(self, process: int) -> int:
+        """Grab a fresh globally-unique TID for ``process``."""
+        if self._next > ATTR_MAX:
+            raise TokenError(
+                f"TID space exhausted ({ATTR_MAX + 1} identifiers)"
+            )
+        tid = self._next
+        self._next += 1
+        self._by_process.setdefault(process, set()).add(tid)
+        return tid
+
+    def release(self, process: int, tid: int) -> None:
+        """Return a TID when its thread exits."""
+        owned = self._by_process.get(process, set())
+        if tid not in owned:
+            raise SimulationError(
+                f"process {process} does not own TID {tid}"
+            )
+        owned.discard(tid)
+
+    def owner_process(self, tid: int) -> Optional[int]:
+        """Which process a TID belongs to (conflict coordination)."""
+        for process, tids in self._by_process.items():
+            if tid in tids:
+                return process
+        return None
+
+
+@dataclass
+class SharedSegment:
+    """A System-V shared-memory segment mapped by several processes."""
+
+    base_page: int
+    num_pages: int
+    authority: TidAuthority
+    attached: Set[int] = field(default_factory=set)
+
+    def attach(self, process: int) -> None:
+        self.attached.add(process)
+
+    def detach(self, process: int) -> None:
+        self.attached.discard(process)
+
+    def blocks(self) -> range:
+        start = self.base_page * BLOCKS_PER_PAGE
+        return range(start, start + self.num_pages * BLOCKS_PER_PAGE)
+
+    def contains_block(self, block: int) -> bool:
+        return block in self.blocks()
+
+    def conflict_processes(self, conflicting_tids) -> List[int]:
+        """Processes whose contention managers must coordinate.
+
+        Given the TIDs involved in a conflict on this segment, return
+        the owning processes (deduplicated, sorted) — the set that
+        must agree on a resolution.
+        """
+        procs = set()
+        for tid in conflicting_tids:
+            proc = self.authority.owner_process(tid)
+            if proc is not None:
+                procs.add(proc)
+        return sorted(procs)
+
+    def fork_cow_page(self, htm: TokenTM, page: int,
+                      new_page: int) -> None:
+        """Copy-on-write split of a shared page.
+
+        Allowed only when no cached transactional copies exist (the
+        simple case the paper requires); the home metastate of each
+        block is then fissioned in software: the original page keeps
+        the reader counts, the new page starts clear — except writer
+        state, which must not exist across a COW split at all.
+        """
+        if not (self.base_page <= page < self.base_page + self.num_pages):
+            raise SimulationError(f"page {page} outside segment")
+        store = htm._store
+        tpb = store.tokens_per_block
+        for block in page_blocks(page):
+            if htm.mem.holders(block):
+                raise SimulationError(
+                    f"COW split of page {page} with live cached "
+                    f"copies of block {block:#x}"
+                )
+            home = store.load(block)
+            if home.total == tpb:
+                raise SimulationError(
+                    f"COW split of page {page} with an active writer "
+                    f"on block {block:#x}"
+                )
+            retained, new_copy = fission(home, tpb)
+            store.store(block, retained)
+            new_block = (new_page * BLOCKS_PER_PAGE
+                         + (block - page * BLOCKS_PER_PAGE))
+            store.store(new_block, new_copy)

@@ -1,0 +1,286 @@
+"""Synthetic transactional workload generator.
+
+The paper evaluates on STAMP and SPLASH binaries under Simics; those
+runs are substituted here (see DESIGN.md) by synthetic generators
+calibrated to the paper's Table 5: transaction counts and average and
+maximum read-/write-set sizes, plus per-benchmark sharing structure
+that determines conflict behaviour.
+
+The key modelling decisions:
+
+* **Set sizes** come from a two-component mixture — a geometric body
+  around a base mean plus a rare heavy tail — because Table 5 pairs
+  small averages with very large maxima (Raytrace: average read set
+  5.1 blocks, maximum 594).  Read and write tails are correlated: a
+  transaction drawn from the tail is large in both sets, as a large
+  Delaunay cavity re-triangulation is.
+* **Sharing** uses a hot/cold split of a shared block region; the hot
+  fraction and region size set the conflict probability, standing in
+  for each benchmark's data-structure contention.
+* **Read-modify-write**: a configurable fraction of written blocks
+  come from the transaction's own read set, exercising the
+  read-to-write upgrade path (TokenTM's (1,X) -> (T,X) transition).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Set
+
+from repro.common.errors import ConfigError
+from repro.common.rng import substream
+from repro.workloads.trace import (
+    Op,
+    ThreadTrace,
+    WorkloadTrace,
+    begin,
+    commit,
+    compute,
+    nt_read,
+    nt_write,
+    read,
+    write,
+)
+
+#: Base block number of the shared data region (clear of address 0 and
+#: far below the per-thread log region at 2**40).
+SHARED_REGION_BASE = 1 << 20
+#: Base of per-thread private regions; thread t gets a disjoint window.
+PRIVATE_REGION_BASE = 1 << 28
+PRIVATE_REGION_SPAN = 1 << 16
+
+
+def _stable_hash(name: str) -> int:
+    """Process-independent name hash (builtin hash() is randomized)."""
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class SetSizeModel:
+    """Mixture model for per-transaction set sizes.
+
+    With probability ``tail_prob`` the size is drawn geometrically
+    around ``tail_mean``; otherwise around ``base_mean``.  All draws
+    are clipped to [minimum, maximum].
+    """
+
+    base_mean: float
+    maximum: int
+    tail_prob: float = 0.0
+    tail_mean: float = 0.0
+    minimum: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tail_prob <= 1.0:
+            raise ConfigError("tail_prob must be a probability")
+        if self.maximum < self.minimum:
+            raise ConfigError("maximum below minimum")
+
+    def sample(self, rng, in_tail: bool) -> int:
+        """Draw one size; ``in_tail`` selects the mixture component."""
+        mean = self.tail_mean if in_tail and self.tail_prob > 0 else \
+            self.base_mean
+        if mean <= self.minimum:
+            return self.minimum
+        # Geometric with the requested mean above the minimum.
+        p = 1.0 / (mean - self.minimum + 1.0)
+        u = rng.random()
+        if u >= 1.0:  # pragma: no cover - random() < 1.0 by contract
+            u = 0.999999
+        value = self.minimum + int(math.log(1.0 - u) / math.log(1.0 - p)) \
+            if p < 1.0 else self.minimum
+        return max(self.minimum, min(self.maximum, value))
+
+    def expected_mean(self) -> float:
+        """Approximate mean of the mixture (before clipping)."""
+        return ((1.0 - self.tail_prob) * self.base_mean
+                + self.tail_prob * self.tail_mean)
+
+
+@dataclass(frozen=True)
+class TxnWorkloadSpec:
+    """Full parameterization of one synthetic TM workload."""
+
+    name: str
+    #: Table 5 "Num Xacts" (total across all threads).
+    total_txns: int
+    read_model: SetSizeModel
+    write_model: SetSizeModel
+    #: Probability one transaction is a heavy-tail (large) one; shared
+    #: between the read and write models to correlate their sizes.
+    tail_prob: float
+    #: Shared-region geometry: conflicts happen on hot blocks.
+    region_blocks: int
+    hot_blocks: int
+    hot_prob: float
+    #: Fraction of written blocks taken from the txn's own read set.
+    rmw_fraction: float
+    #: Think-time cycles between consecutive accesses in a txn.
+    compute_per_access: int
+    #: Cycles of non-transactional work between transactions.
+    inter_txn_compute: int
+    #: Non-transactional private accesses between transactions.
+    nontxn_accesses: int = 2
+    threads: int = 32
+    #: When non-zero, each transaction's cold accesses cluster in a
+    #: window of this many blocks around a per-transaction center
+    #: (spatial locality: e.g. a Delaunay cavity sits in one mesh
+    #: neighbourhood, so concurrent cavities rarely truly overlap
+    #: even though each is large).  Hot accesses still target the
+    #: global hot set.  Zero means uniform over the whole region.
+    locality_window: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_txns <= 0:
+            raise ConfigError("total_txns must be positive")
+        if self.hot_blocks > self.region_blocks:
+            raise ConfigError("hot set larger than region")
+        for prob in (self.tail_prob, self.hot_prob, self.rmw_fraction):
+            if not 0.0 <= prob <= 1.0:
+                raise ConfigError("probabilities must be in [0, 1]")
+
+
+class SyntheticTxnWorkload:
+    """Generates :class:`WorkloadTrace` instances from a spec."""
+
+    def __init__(self, spec: TxnWorkloadSpec):
+        self.spec = spec
+
+    def scaled_spec(self, scale: float) -> TxnWorkloadSpec:
+        """Spec with the transaction count scaled by ``scale``."""
+        if scale <= 0:
+            raise ConfigError("scale must be positive")
+        count = max(self.spec.threads, int(self.spec.total_txns * scale))
+        return replace(self.spec, total_txns=count)
+
+    def generate(self, seed: int = 0, scale: float = 1.0,
+                 threads: Optional[int] = None) -> WorkloadTrace:
+        """Produce the per-thread operation streams.
+
+        ``scale`` shrinks (or grows) the transaction count uniformly —
+        benchmark harnesses use small scales to keep runtimes sane and
+        report the scale they used.  The generator is deterministic in
+        (seed, scale, threads).
+        """
+        spec = self.scaled_spec(scale)
+        nthreads = threads if threads is not None else spec.threads
+        if threads is not None:
+            spec = replace(spec, threads=threads)
+        per_thread = self._split_txns(spec.total_txns, nthreads)
+        traces = []
+        for t in range(nthreads):
+            rng = substream(seed, _stable_hash(spec.name), t)
+            ops = self._thread_ops(spec, rng, t, per_thread[t])
+            traces.append(ThreadTrace(t, ops))
+        return WorkloadTrace(
+            name=spec.name,
+            threads=traces,
+            params={
+                "seed": seed,
+                "scale": scale,
+                "threads": nthreads,
+                "total_txns": spec.total_txns,
+            },
+        )
+
+    @staticmethod
+    def _split_txns(total: int, threads: int) -> List[int]:
+        base, extra = divmod(total, threads)
+        return [base + (1 if t < extra else 0) for t in range(threads)]
+
+    # ------------------------------------------------------------------
+
+    def _thread_ops(self, spec: TxnWorkloadSpec, rng, thread: int,
+                    txns: int) -> List[Op]:
+        ops: List[Op] = []
+        private_base = PRIVATE_REGION_BASE + thread * PRIVATE_REGION_SPAN
+        for _ in range(txns):
+            self._emit_inter_txn(spec, rng, private_base, ops)
+            self._emit_txn(spec, rng, ops)
+        self._emit_inter_txn(spec, rng, private_base, ops)
+        return ops
+
+    def _emit_inter_txn(self, spec: TxnWorkloadSpec, rng,
+                        private_base: int, ops: List[Op]) -> None:
+        if spec.inter_txn_compute > 0:
+            jitter = rng.randint(spec.inter_txn_compute // 2,
+                                 spec.inter_txn_compute * 3 // 2)
+            ops.append(compute(max(1, jitter)))
+        for _ in range(spec.nontxn_accesses):
+            block = private_base + rng.randrange(PRIVATE_REGION_SPAN)
+            if rng.random() < 0.5:
+                ops.append(nt_read(block))
+            else:
+                ops.append(nt_write(block))
+
+    def _pick_block(self, spec: TxnWorkloadSpec, rng,
+                    center: int = -1, window: int = 0) -> int:
+        if spec.hot_blocks and rng.random() < spec.hot_prob:
+            return SHARED_REGION_BASE + rng.randrange(spec.hot_blocks)
+        if window:
+            offset = (center + rng.randrange(window)) % spec.region_blocks
+            return SHARED_REGION_BASE + offset
+        return SHARED_REGION_BASE + rng.randrange(spec.region_blocks)
+
+    def _emit_txn(self, spec: TxnWorkloadSpec, rng, ops: List[Op]) -> None:
+        in_tail = rng.random() < spec.tail_prob
+        n_reads = spec.read_model.sample(rng, in_tail)
+        n_writes = spec.write_model.sample(rng, in_tail)
+
+        center = -1
+        window = 0
+        if spec.locality_window:
+            center = rng.randrange(spec.region_blocks)
+            # The window must comfortably contain the transaction's
+            # distinct blocks; giants get proportionally wider ones.
+            window = max(spec.locality_window, 3 * (n_reads + n_writes))
+
+        read_blocks: List[int] = []
+        seen: Set[int] = set()
+        while len(read_blocks) < n_reads:
+            block = self._pick_block(spec, rng, center, window)
+            if block not in seen:
+                seen.add(block)
+                read_blocks.append(block)
+
+        write_blocks: List[int] = []
+        wseen: Set[int] = set()
+        while len(write_blocks) < n_writes:
+            if read_blocks and rng.random() < spec.rmw_fraction:
+                block = read_blocks[rng.randrange(len(read_blocks))]
+            else:
+                block = self._pick_block(spec, rng, center, window)
+            if block not in wseen:
+                wseen.add(block)
+                write_blocks.append(block)
+
+        ops.append(begin())
+        think = spec.compute_per_access
+        # Read phase first (lookups), writes interleaved into the
+        # second half (updates) — the common pattern in STAMP kernels.
+        midpoint = len(read_blocks) // 2
+        emitted_first_half = False
+        for index, block in enumerate(read_blocks):
+            ops.append(read(block))
+            if think:
+                ops.append(compute(rng.randint(max(1, think // 2),
+                                               think * 3 // 2)))
+            if index == midpoint and len(read_blocks) > 2:
+                emitted_first_half = True
+                for wblock in write_blocks[: len(write_blocks) // 2]:
+                    ops.append(write(wblock))
+                    if think:
+                        ops.append(compute(rng.randint(
+                            max(1, think // 2), think * 3 // 2)))
+        start = len(write_blocks) // 2 if emitted_first_half else 0
+        for wblock in write_blocks[start:]:
+            ops.append(write(wblock))
+            if think:
+                ops.append(compute(rng.randint(max(1, think // 2),
+                                               think * 3 // 2)))
+        if not read_blocks and not write_blocks:
+            ops.append(compute(max(1, think)))
+        ops.append(commit())

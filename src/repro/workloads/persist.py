@@ -1,0 +1,95 @@
+"""Trace persistence: save and load workload traces.
+
+Traces serialize to a compact line-oriented text format so runs can
+be archived, diffed, and replayed bit-identically on any machine —
+useful for sharing the exact inputs behind a result.
+
+Format (one file per workload)::
+
+    #repro-trace v1
+    #name <workload name>
+    #param <key> <json value>        (zero or more)
+    T <thread id>                    (starts a thread section)
+    <opcode> <arg>                   (one op per line, integers)
+
+Opcodes are the integer constants of :mod:`repro.workloads.trace`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.common.errors import TraceError
+from repro.workloads.trace import (
+    OP_NAMES,
+    ThreadTrace,
+    WorkloadTrace,
+    validate_trace,
+)
+
+MAGIC = "#repro-trace v1"
+
+
+def save_trace(trace: WorkloadTrace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` in the v1 text format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as out:
+        out.write(MAGIC + "\n")
+        out.write(f"#name {trace.name}\n")
+        for key, value in sorted(trace.params.items()):
+            try:
+                encoded = json.dumps(value)
+            except TypeError:
+                encoded = json.dumps(str(value))
+            out.write(f"#param {key} {encoded}\n")
+        for thread in trace.threads:
+            out.write(f"T {thread.thread_id}\n")
+            for opcode, arg in thread.ops:
+                out.write(f"{opcode} {arg}\n")
+
+
+def load_trace(path: Union[str, Path], validate: bool = True) -> WorkloadTrace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    name = path.stem
+    params = {}
+    threads = []
+    current = None
+    with path.open("r", encoding="utf-8") as src:
+        first = src.readline().rstrip("\n")
+        if first != MAGIC:
+            raise TraceError(f"{path}: not a repro trace file")
+        for lineno, raw in enumerate(src, start=2):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#name "):
+                name = line[len("#name "):]
+            elif line.startswith("#param "):
+                _, key, encoded = line.split(" ", 2)
+                params[key] = json.loads(encoded)
+            elif line.startswith("#"):
+                continue  # comment
+            elif line.startswith("T "):
+                current = ThreadTrace(int(line[2:]), [])
+                threads.append(current)
+            else:
+                if current is None:
+                    raise TraceError(
+                        f"{path}:{lineno}: op before any thread header"
+                    )
+                parts = line.split()
+                if len(parts) != 2:
+                    raise TraceError(f"{path}:{lineno}: malformed op")
+                opcode, arg = int(parts[0]), int(parts[1])
+                if opcode not in OP_NAMES:
+                    raise TraceError(
+                        f"{path}:{lineno}: unknown opcode {opcode}"
+                    )
+                current.ops.append((opcode, arg))
+    trace = WorkloadTrace(name, threads, params)
+    if validate:
+        validate_trace(trace)
+    return trace

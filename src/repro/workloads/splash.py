@@ -1,0 +1,115 @@
+"""SPLASH-2-like workloads: Barnes, Cholesky, Radiosity, Raytrace.
+
+These represent the paper's "carefully optimized" class: scientific
+codes whose lock-based critical sections were converted to (small)
+transactions.  They spend a minority of execution time in
+transactions, which is why TokenTM's goal for them is just *do no
+harm* (Figure 5's left half).
+
+Each spec follows Table 5's transaction counts and set sizes:
+
+* **Barnes** — N-body tree updates: small transactions that lock a
+  node neighbourhood (reads 6.1 / writes 4.2 on average).
+* **Cholesky** — sparse factorization task bookkeeping: the smallest
+  transactions of the suite (2.4 / 1.7).
+* **Radiosity** — task-queue and patch updates with a hot queue head.
+* **Raytrace** — work-queue plus rare giant read sets (max 594: a ray
+  walking a long BVH path inside one critical section).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.base import (
+    SetSizeModel,
+    SyntheticTxnWorkload,
+    TxnWorkloadSpec,
+)
+
+
+def barnes() -> SyntheticTxnWorkload:
+    """Barnes-Hut N-body (SPLASH-2), 512 bodies."""
+    return SyntheticTxnWorkload(TxnWorkloadSpec(
+        name="Barnes",
+        total_txns=2_553,
+        read_model=SetSizeModel(base_mean=5.4, maximum=42,
+                                tail_prob=0.05, tail_mean=20.0, minimum=1),
+        write_model=SetSizeModel(base_mean=3.6, maximum=39,
+                                 tail_prob=0.05, tail_mean=15.0, minimum=1),
+        tail_prob=0.05,
+        region_blocks=8_192,
+        hot_blocks=512,
+        hot_prob=0.12,
+        rmw_fraction=0.70,
+        compute_per_access=60,
+        inter_txn_compute=2_000,
+    ))
+
+
+def cholesky() -> SyntheticTxnWorkload:
+    """Cholesky factorization (SPLASH-2), input tk14.0."""
+    return SyntheticTxnWorkload(TxnWorkloadSpec(
+        name="Cholesky",
+        total_txns=60_203,
+        read_model=SetSizeModel(base_mean=2.4, maximum=6, minimum=1),
+        write_model=SetSizeModel(base_mean=1.7, maximum=4, minimum=1),
+        tail_prob=0.0,
+        region_blocks=8_192,
+        hot_blocks=256,
+        hot_prob=0.10,
+        rmw_fraction=0.60,
+        compute_per_access=45,
+        inter_txn_compute=1_500,
+    ))
+
+
+def radiosity() -> SyntheticTxnWorkload:
+    """Radiosity (SPLASH-2), batch input, task-queue heavy."""
+    return SyntheticTxnWorkload(TxnWorkloadSpec(
+        name="Radiosity",
+        total_txns=21_786,
+        read_model=SetSizeModel(base_mean=1.6, maximum=25,
+                                tail_prob=0.02, tail_mean=12.0, minimum=1),
+        write_model=SetSizeModel(base_mean=1.3, maximum=24,
+                                 tail_prob=0.02, tail_mean=10.0, minimum=1),
+        tail_prob=0.02,
+        region_blocks=8_192,
+        hot_blocks=256,
+        hot_prob=0.15,
+        rmw_fraction=0.70,
+        compute_per_access=70,
+        inter_txn_compute=3_000,
+    ))
+
+
+def raytrace() -> SyntheticTxnWorkload:
+    """Raytrace (SPLASH-2), teapot scene.
+
+    The write model never enters the tail (Table 5: max write set is
+    only 4 blocks) even when the read set does.
+    """
+    return SyntheticTxnWorkload(TxnWorkloadSpec(
+        name="Raytrace",
+        total_txns=47_783,
+        read_model=SetSizeModel(base_mean=3.6, maximum=594,
+                                tail_prob=0.01, tail_mean=150.0, minimum=1),
+        write_model=SetSizeModel(base_mean=2.0, maximum=4, minimum=1),
+        tail_prob=0.01,
+        region_blocks=16_384,
+        hot_blocks=256,
+        hot_prob=0.05,
+        rmw_fraction=0.50,
+        compute_per_access=40,
+        inter_txn_compute=1_200,
+    ))
+
+
+def splash_workloads() -> Dict[str, SyntheticTxnWorkload]:
+    """All SPLASH-like workloads keyed by Table 5 name."""
+    return {
+        "Barnes": barnes(),
+        "Cholesky": cholesky(),
+        "Radiosity": radiosity(),
+        "Raytrace": raytrace(),
+    }

@@ -1,0 +1,221 @@
+"""Workload trace representation.
+
+The simulator is trace-driven: a workload is one operation stream per
+thread.  Operations are plain ``(opcode, arg)`` tuples so the
+executor's hot loop stays cheap; the module-level integer opcodes and
+the helper constructors keep generators readable.
+
+Addresses are *block* numbers (64-byte granularity), matching the
+paper's read/write-set accounting.  A transactional region is
+bracketed by BEGIN/COMMIT; on abort the executor re-runs the region
+from its BEGIN.  Lock-based workloads (for the Table 1 analysis) use
+LOCK/UNLOCK/SYSCALL and never enter transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.common.errors import TraceError
+
+# Opcode space.  args: address ops carry a block number; COMPUTE and
+# SYSCALL carry a cycle count; LOCK/UNLOCK carry a lock id.
+OP_BEGIN = 0
+OP_COMMIT = 1
+OP_READ = 2
+OP_WRITE = 3
+OP_NT_READ = 4
+OP_NT_WRITE = 5
+OP_COMPUTE = 6
+OP_LOCK = 7
+OP_UNLOCK = 8
+OP_SYSCALL = 9
+
+OP_NAMES = {
+    OP_BEGIN: "BEGIN",
+    OP_COMMIT: "COMMIT",
+    OP_READ: "READ",
+    OP_WRITE: "WRITE",
+    OP_NT_READ: "NT_READ",
+    OP_NT_WRITE: "NT_WRITE",
+    OP_COMPUTE: "COMPUTE",
+    OP_LOCK: "LOCK",
+    OP_UNLOCK: "UNLOCK",
+    OP_SYSCALL: "SYSCALL",
+}
+
+#: One operation: (opcode, argument).
+Op = Tuple[int, int]
+
+
+def begin() -> Op:
+    return (OP_BEGIN, 0)
+
+
+def commit() -> Op:
+    return (OP_COMMIT, 0)
+
+
+def read(block: int) -> Op:
+    return (OP_READ, block)
+
+
+def write(block: int) -> Op:
+    return (OP_WRITE, block)
+
+
+def nt_read(block: int) -> Op:
+    return (OP_NT_READ, block)
+
+
+def nt_write(block: int) -> Op:
+    return (OP_NT_WRITE, block)
+
+
+def compute(cycles: int) -> Op:
+    return (OP_COMPUTE, cycles)
+
+
+def lock(lock_id: int) -> Op:
+    return (OP_LOCK, lock_id)
+
+
+def unlock(lock_id: int) -> Op:
+    return (OP_UNLOCK, lock_id)
+
+
+def syscall(cycles: int) -> Op:
+    return (OP_SYSCALL, cycles)
+
+
+@dataclass
+class ThreadTrace:
+    """Operation stream of one simulated thread."""
+
+    thread_id: int
+    ops: List[Op] = field(default_factory=list)
+
+    def extend(self, ops: Iterable[Op]) -> None:
+        self.ops.extend(ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class WorkloadTrace:
+    """A complete multi-threaded workload."""
+
+    name: str
+    threads: List[ThreadTrace]
+    #: Free-form generator parameters, recorded for reports.
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    def total_ops(self) -> int:
+        return sum(len(t) for t in self.threads)
+
+    def transaction_count(self) -> int:
+        """Static count of *outermost* transactions across threads.
+
+        Nested BEGINs (flat nesting) are subsumed by their enclosing
+        transaction and do not count.
+        """
+        count = 0
+        for t in self.threads:
+            depth = 0
+            for opcode, _ in t.ops:
+                if opcode == OP_BEGIN:
+                    if depth == 0:
+                        count += 1
+                    depth += 1
+                elif opcode == OP_COMMIT:
+                    depth -= 1
+        return count
+
+
+def validate_trace(trace: WorkloadTrace) -> None:
+    """Check well-formedness; raises :class:`TraceError` on problems.
+
+    Rules: BEGIN/COMMIT balance per thread (nesting is allowed — the
+    executor flattens it); transactional READ/WRITE appear only
+    inside a transaction; LOCK/UNLOCK nest properly per thread;
+    arguments are non-negative (COMPUTE/SYSCALL must be positive).
+    """
+    for thread in trace.threads:
+        depth = 0
+        held_locks: List[int] = []
+        for index, (opcode, arg) in enumerate(thread.ops):
+            where = f"thread {thread.thread_id} op {index}"
+            in_txn = depth > 0
+            if opcode == OP_BEGIN:
+                depth += 1
+            elif opcode == OP_COMMIT:
+                if not in_txn:
+                    raise TraceError(f"COMMIT outside transaction at {where}")
+                depth -= 1
+            elif opcode in (OP_READ, OP_WRITE):
+                if not in_txn:
+                    raise TraceError(
+                        f"transactional access outside transaction at {where}"
+                    )
+                if arg < 0:
+                    raise TraceError(f"negative address at {where}")
+            elif opcode in (OP_NT_READ, OP_NT_WRITE):
+                if in_txn:
+                    raise TraceError(
+                        f"non-transactional access inside transaction "
+                        f"at {where}"
+                    )
+                if arg < 0:
+                    raise TraceError(f"negative address at {where}")
+            elif opcode in (OP_COMPUTE, OP_SYSCALL):
+                if arg <= 0:
+                    raise TraceError(f"non-positive cycle count at {where}")
+            elif opcode == OP_LOCK:
+                held_locks.append(arg)
+            elif opcode == OP_UNLOCK:
+                if not held_locks or held_locks[-1] != arg:
+                    raise TraceError(f"unbalanced UNLOCK({arg}) at {where}")
+                held_locks.pop()
+            else:
+                raise TraceError(f"unknown opcode {opcode} at {where}")
+        if depth > 0:
+            raise TraceError(
+                f"thread {thread.thread_id} ends inside a transaction"
+            )
+        if held_locks:
+            raise TraceError(
+                f"thread {thread.thread_id} ends holding locks {held_locks}"
+            )
+
+
+def static_set_sizes(trace: WorkloadTrace) -> List[Tuple[int, int]]:
+    """Per-transaction (read-set, write-set) sizes from the trace.
+
+    Counts distinct blocks per transactional region, the way Table 5
+    reports them (a block both read and written counts in both sets).
+    """
+    sizes: List[Tuple[int, int]] = []
+    for thread in trace.threads:
+        reads: set = set()
+        writes: set = set()
+        depth = 0
+        for opcode, arg in thread.ops:
+            if opcode == OP_BEGIN:
+                if depth == 0:
+                    reads, writes = set(), set()
+                depth += 1
+            elif opcode == OP_COMMIT:
+                depth -= 1
+                if depth == 0:
+                    sizes.append((len(reads), len(writes)))
+            elif depth and opcode == OP_READ:
+                reads.add(arg)
+            elif depth and opcode == OP_WRITE:
+                writes.add(arg)
+    return sizes

@@ -1,0 +1,111 @@
+"""Unit tests for the set-associative L1 cache model."""
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import CoherenceError
+from repro.coherence.cache import L1Cache, MESI
+
+
+def tiny_cache(sets=2, ways=2):
+    geometry = CacheGeometry(sets * ways * 64, ways)
+    return L1Cache(geometry, core=0)
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        geometry = CacheGeometry(32 * 1024, 4)
+        assert geometry.num_sets == 128
+        assert geometry.num_blocks == 512
+
+    def test_set_index_wraps(self):
+        geometry = CacheGeometry(2 * 2 * 64, 2)
+        assert geometry.set_index(0) == 0
+        assert geometry.set_index(1) == 1
+        assert geometry.set_index(2) == 0
+
+    def test_invalid_geometry_rejected(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            CacheGeometry(1000, 3)  # not divisible into pow2 sets
+
+
+class TestInstallLookup:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.lookup(0x10) is None
+        cache.install(0x10, MESI.SHARED)
+        line = cache.lookup(0x10)
+        assert line is not None and line.state is MESI.SHARED
+
+    def test_double_install_rejected(self):
+        cache = tiny_cache()
+        cache.install(0x10, MESI.SHARED)
+        with pytest.raises(CoherenceError):
+            cache.install(0x10, MESI.MODIFIED)
+
+    def test_install_into_full_set_rejected(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.install(0, MESI.SHARED)
+        cache.install(1, MESI.SHARED)
+        with pytest.raises(CoherenceError):
+            cache.install(2, MESI.SHARED)
+
+
+class TestVictimSelection:
+    def test_no_victim_when_room(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.install(0, MESI.SHARED)
+        assert cache.victim_for(1) is None
+
+    def test_no_victim_when_resident(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.install(0, MESI.SHARED)
+        cache.install(1, MESI.SHARED)
+        assert cache.victim_for(0) is None
+
+    def test_lru_victim(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.install(0, MESI.SHARED)
+        cache.install(1, MESI.SHARED)
+        cache.touch(0)  # 1 is now least recently used
+        victim = cache.victim_for(2)
+        assert victim is not None and victim.block == 1
+
+    def test_victims_respect_sets(self):
+        cache = tiny_cache(sets=2, ways=1)
+        cache.install(0, MESI.SHARED)  # set 0
+        assert cache.victim_for(1) is None  # set 1 is free
+        victim = cache.victim_for(2)  # set 0 again
+        assert victim is not None and victim.block == 0
+
+
+class TestRemove:
+    def test_remove_returns_line(self):
+        cache = tiny_cache()
+        cache.install(0x10, MESI.MODIFIED)
+        line = cache.remove(0x10)
+        assert line.block == 0x10
+        assert cache.lookup(0x10) is None
+
+    def test_remove_absent_rejected(self):
+        cache = tiny_cache()
+        with pytest.raises(CoherenceError):
+            cache.remove(0x10)
+
+    def test_resident_count(self):
+        cache = tiny_cache()
+        assert cache.resident_count() == 0
+        cache.install(0x10, MESI.SHARED)
+        cache.install(0x11, MESI.SHARED)
+        assert cache.resident_count() == 2
+        cache.remove(0x10)
+        assert cache.resident_count() == 1
+
+
+def test_meta_slot_defaults_none():
+    cache = tiny_cache()
+    line = cache.install(0x10, MESI.EXCLUSIVE)
+    assert line.meta is None
+    line.meta = "anything"
+    assert cache.lookup(0x10).meta == "anything"

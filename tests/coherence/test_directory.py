@@ -1,0 +1,105 @@
+"""Unit tests for the exact MESI directory."""
+
+import pytest
+
+from repro.common.errors import CoherenceError
+from repro.coherence.directory import Directory, DirState
+
+
+class TestFills:
+    def test_untouched_block_is_uncached(self):
+        directory = Directory()
+        assert directory.entry(0x1).state is DirState.UNCACHED
+        assert directory.entry(0x1).holders() == set()
+
+    def test_shared_fills_accumulate(self):
+        directory = Directory()
+        directory.record_shared_fill(0x1, 0)
+        directory.record_shared_fill(0x1, 2)
+        entry = directory.entry(0x1)
+        assert entry.state is DirState.SHARED
+        assert entry.holders() == {0, 2}
+
+    def test_exclusive_fill(self):
+        directory = Directory()
+        directory.record_exclusive_fill(0x1, 3)
+        entry = directory.entry(0x1)
+        assert entry.state is DirState.EXCLUSIVE
+        assert entry.holders() == {3}
+
+    def test_exclusive_fill_with_holders_rejected(self):
+        directory = Directory()
+        directory.record_shared_fill(0x1, 0)
+        with pytest.raises(CoherenceError):
+            directory.record_exclusive_fill(0x1, 1)
+
+    def test_shared_fill_while_exclusive_rejected(self):
+        directory = Directory()
+        directory.record_exclusive_fill(0x1, 0)
+        with pytest.raises(CoherenceError):
+            directory.record_shared_fill(0x1, 1)
+
+
+class TestEvictions:
+    def test_exclusive_eviction_uncaches(self):
+        directory = Directory()
+        directory.record_exclusive_fill(0x1, 0)
+        directory.record_eviction(0x1, 0)
+        assert directory.entry(0x1).state is DirState.UNCACHED
+
+    def test_last_sharer_eviction_uncaches(self):
+        directory = Directory()
+        directory.record_shared_fill(0x1, 0)
+        directory.record_shared_fill(0x1, 1)
+        directory.record_eviction(0x1, 0)
+        assert directory.entry(0x1).state is DirState.SHARED
+        directory.record_eviction(0x1, 1)
+        assert directory.entry(0x1).state is DirState.UNCACHED
+
+    def test_eviction_by_non_holder_rejected(self):
+        directory = Directory()
+        directory.record_shared_fill(0x1, 0)
+        with pytest.raises(CoherenceError):
+            directory.record_eviction(0x1, 1)
+
+    def test_eviction_of_uncached_rejected(self):
+        directory = Directory()
+        with pytest.raises(CoherenceError):
+            directory.record_eviction(0x1, 0)
+
+
+class TestUpgradeDowngrade:
+    def test_upgrade_sole_sharer(self):
+        directory = Directory()
+        directory.record_shared_fill(0x1, 0)
+        directory.record_upgrade(0x1, 0)
+        entry = directory.entry(0x1)
+        assert entry.state is DirState.EXCLUSIVE
+        assert entry.owner == 0
+
+    def test_upgrade_with_other_sharers_rejected(self):
+        directory = Directory()
+        directory.record_shared_fill(0x1, 0)
+        directory.record_shared_fill(0x1, 1)
+        with pytest.raises(CoherenceError):
+            directory.record_upgrade(0x1, 0)
+
+    def test_upgrade_by_non_sharer_rejected(self):
+        directory = Directory()
+        directory.record_shared_fill(0x1, 0)
+        with pytest.raises(CoherenceError):
+            directory.record_upgrade(0x1, 1)
+
+    def test_downgrade_adds_requester(self):
+        directory = Directory()
+        directory.record_exclusive_fill(0x1, 0)
+        directory.record_downgrade(0x1, 2)
+        entry = directory.entry(0x1)
+        assert entry.state is DirState.SHARED
+        assert entry.holders() == {0, 2}
+
+    def test_downgrade_of_shared_rejected(self):
+        directory = Directory()
+        directory.record_shared_fill(0x1, 0)
+        with pytest.raises(CoherenceError):
+            directory.record_downgrade(0x1, 1)

@@ -1,0 +1,47 @@
+"""Zero-filled region support in the memory system."""
+
+import pytest
+
+from repro.common.errors import CoherenceError
+from repro.coherence.protocol import MemorySystem
+from tests.conftest import small_system
+
+B = 0x5_000_000
+
+
+class TestZeroFilled:
+    def test_first_touch_costs_l2_not_memory(self):
+        mem = MemorySystem(small_system())
+        mem.mark_zero_filled(B, B + 100)
+        inside = mem.access(0, B + 1, True)
+        outside = mem.access(0, B + 200, True)
+        assert inside.latency < outside.latency
+        assert mem.stats.memory_fetches == 1  # only the outside one
+
+    def test_range_boundaries(self):
+        mem = MemorySystem(small_system())
+        mem.mark_zero_filled(B, B + 10)
+        mem.access(0, B, False)        # first block inside
+        mem.access(0, B + 10, False)   # one past the end: outside
+        assert mem.stats.memory_fetches == 1
+
+    def test_empty_range_rejected(self):
+        mem = MemorySystem(small_system())
+        with pytest.raises(CoherenceError):
+            mem.mark_zero_filled(B, B)
+
+    def test_htm_machines_mark_log_region(self):
+        from repro.common.config import HTMConfig
+        from repro.core.tmlog import TmLog
+        from repro.htm import make_htm
+
+        htm = make_htm("TokenTM", MemorySystem(small_system()),
+                       HTMConfig(tokens_per_block=8))
+        htm.begin(0, 0)
+        htm.read(0, 0, 0x77)
+        # The log block was written during the read; its first touch
+        # must not have been a DRAM fetch.
+        log_block = TmLog(0).current_block()
+        assert htm.mem.cache(0).lookup(log_block) is not None
+        # Data block 0x77 cost one memory fetch; log block cost none.
+        assert htm.mem.stats.memory_fetches == 1

@@ -1,0 +1,66 @@
+"""Shared fixtures: small machine configurations for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    CacheGeometry,
+    HTMConfig,
+    LatencyModel,
+    SystemConfig,
+)
+from repro.coherence.protocol import MemorySystem
+from repro.htm import make_htm
+
+#: A small token count keeps unit-test arithmetic readable.  8 is
+#: large enough for multi-reader scenarios and small enough to write
+#: expected values by hand.
+SMALL_T = 8
+
+
+def small_system(cores: int = 4, l1_kb: int = 1) -> SystemConfig:
+    """A 4-core system with tiny L1s (16 lines) to force evictions."""
+    return SystemConfig(
+        num_cores=cores,
+        clusters=cores,
+        cores_per_cluster=1,
+        l1=CacheGeometry(l1_kb * 1024, 4),
+        l2=CacheGeometry(1024 * 1024, 8),
+        l2_banks=4,
+        memory_controllers=2,
+        latency=LatencyModel(),
+    )
+
+
+@pytest.fixture
+def sys4() -> SystemConfig:
+    return small_system()
+
+
+@pytest.fixture
+def htm_cfg() -> HTMConfig:
+    return HTMConfig(tokens_per_block=SMALL_T)
+
+
+@pytest.fixture
+def mem(sys4) -> MemorySystem:
+    return MemorySystem(sys4)
+
+
+@pytest.fixture
+def tokentm(sys4, htm_cfg):
+    return make_htm("TokenTM", MemorySystem(sys4), htm_cfg)
+
+
+@pytest.fixture
+def tokentm_nofast(sys4, htm_cfg):
+    return make_htm("TokenTM_NoFast", MemorySystem(sys4), htm_cfg)
+
+
+def make_variant(name: str, system: SystemConfig = None,
+                 config: HTMConfig = None):
+    """Fresh machine of any variant on its own memory system."""
+    system = system or small_system()
+    config = config or HTMConfig(tokens_per_block=SMALL_T)
+    return make_htm(name, MemorySystem(system), config)

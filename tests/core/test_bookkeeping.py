@@ -1,0 +1,100 @@
+"""Unit tests for the double-entry bookkeeping auditor."""
+
+import pytest
+
+from repro.common.errors import BookkeepingError, MetastateError
+from repro.core.bookkeeping import (
+    audit_books,
+    rebuild_debit_vector,
+    reconstruct_meta,
+)
+from repro.core.metastate import META_ZERO, Meta
+from repro.core.tmlog import TmLog
+
+T = 8
+
+
+def _log_with(tid, entries):
+    log = TmLog(tid)
+    for block, tokens, is_write in entries:
+        log.append(block, tokens, is_write)
+    return log
+
+
+class TestReconstruct:
+    def test_shards_fuse_to_logical_state(self):
+        shards = [Meta(1, 2), Meta(2, None)]
+        assert reconstruct_meta(shards, T) == Meta(3, None)
+
+    def test_inconsistent_shards_raise(self):
+        with pytest.raises(MetastateError):
+            reconstruct_meta([Meta(T, 1), Meta(1, 2)], T)
+
+
+class TestAudit:
+    def test_balanced_books_pass(self):
+        shards = {0xA: [Meta(1, 0)], 0xB: [Meta(T, 1)]}
+        logs = [
+            _log_with(0, [(0xA, 1, False)]),
+            _log_with(1, [(0xB, T, True)]),
+        ]
+        report = audit_books(shards, logs, T)
+        assert report.ok
+        assert report.blocks_checked == 2
+
+    def test_missing_log_credit_raises(self):
+        shards = {0xA: [Meta(1, 0)]}
+        with pytest.raises(BookkeepingError):
+            audit_books(shards, [], T)
+
+    def test_missing_metastate_debit_raises(self):
+        logs = [_log_with(0, [(0xA, 1, False)])]
+        with pytest.raises(BookkeepingError):
+            audit_books({}, logs, T)
+
+    def test_non_raising_mode_reports_imbalances(self):
+        shards = {0xA: [Meta(2, None)]}
+        logs = [_log_with(0, [(0xA, 1, False)])]
+        report = audit_books(shards, logs, T, raise_on_imbalance=False)
+        assert not report.ok
+        assert len(report.imbalances) == 1
+        snap = report.imbalances[0]
+        assert snap.metastate_debits == 2
+        assert snap.log_credits == 1
+
+    def test_distributed_shards_balance(self):
+        # One reader's token fissioned across copies + home.
+        shards = {0xA: [META_ZERO, Meta(1, 0), Meta(2, None)]}
+        logs = [
+            _log_with(0, [(0xA, 1, False)]),
+            _log_with(1, [(0xA, 1, False)]),
+            _log_with(2, [(0xA, 1, False)]),
+        ]
+        assert audit_books(shards, logs, T).ok
+
+    def test_replicated_writer_counts_once(self):
+        shards = {0xB: [Meta(T, 1), Meta(T, 1)]}  # two copies, one writer
+        logs = [_log_with(1, [(0xB, T, True)])]
+        assert audit_books(shards, logs, T).ok
+
+    def test_writer_tid_surfaced(self):
+        shards = {0xB: [Meta(T, 1)]}
+        logs = [_log_with(1, [(0xB, T, True)])]
+        report = audit_books(shards, logs, T)
+        assert report.snapshots[0].writer_tid == 1
+
+
+class TestRebuildVector:
+    def test_full_vector_from_logs(self):
+        logs = [
+            _log_with(0, [(0xA, 1, False), (0xB, 1, False)]),
+            _log_with(1, [(0xA, 1, False)]),
+            _log_with(2, [(0xC, 1, False), (0xC, T - 1, True)]),
+        ]
+        vector = rebuild_debit_vector(logs)
+        assert vector[0xA] == {0: 1, 1: 1}
+        assert vector[0xB] == {0: 1}
+        assert vector[0xC] == {2: T}
+
+    def test_empty_logs(self):
+        assert rebuild_debit_vector([]) == {}

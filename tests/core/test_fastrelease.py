@@ -1,0 +1,89 @@
+"""Unit tests for fast-release eligibility tracking."""
+
+from repro.core.fastrelease import FastReleaseUnit
+
+
+class TestEligibility:
+    def test_fresh_transaction_is_eligible(self):
+        unit = FastReleaseUnit(0)
+        unit.begin(5)
+        assert unit.eligible
+
+    def test_disabled_unit_is_never_eligible(self):
+        unit = FastReleaseUnit(0, enabled=False)
+        unit.begin(5)
+        assert not unit.eligible
+
+    def test_eviction_of_marked_line_disables(self):
+        unit = FastReleaseUnit(0)
+        unit.begin(5)
+        unit.mark(0xA)
+        unit.line_evicted(0xA)
+        assert not unit.eligible
+
+    def test_eviction_of_unmarked_line_is_harmless(self):
+        unit = FastReleaseUnit(0)
+        unit.begin(5)
+        unit.mark(0xA)
+        unit.line_evicted(0xB)
+        assert unit.eligible
+
+    def test_invalidation_of_marked_line_disables(self):
+        unit = FastReleaseUnit(0)
+        unit.begin(5)
+        unit.mark(0xA)
+        unit.line_invalidated(0xA)
+        assert not unit.eligible
+
+    def test_downgrade_with_reader_bit_keeps_eligibility(self):
+        # A downgraded line stays in the L1; reader tokens survive
+        # flash-clear safely.
+        unit = FastReleaseUnit(0)
+        unit.begin(5)
+        unit.mark(0xA)
+        unit.line_downgraded(0xA, had_writer_bit=False)
+        assert unit.eligible
+
+    def test_downgrade_with_writer_bit_disables(self):
+        # Writer state replicated to the new copy: flash-clear would
+        # leave a stale (T, X) replica.
+        unit = FastReleaseUnit(0)
+        unit.begin(5)
+        unit.mark(0xA)
+        unit.line_downgraded(0xA, had_writer_bit=True)
+        assert not unit.eligible
+
+
+class TestTakeFastRelease:
+    def test_returns_marked_lines_and_resets(self):
+        unit = FastReleaseUnit(0)
+        unit.begin(5)
+        unit.mark(0xA)
+        unit.mark(0xB)
+        lines = unit.take_fast_release()
+        assert lines == frozenset({0xA, 0xB})
+        assert not unit.eligible
+        assert unit.marked_blocks == frozenset()
+
+    def test_next_transaction_starts_fresh(self):
+        unit = FastReleaseUnit(0)
+        unit.begin(5)
+        unit.mark(0xA)
+        unit.line_evicted(0xA)
+        unit.finish_software()
+        unit.begin(6)
+        assert unit.eligible
+
+
+class TestContextSwitch:
+    def test_switch_disables_and_reports_lines(self):
+        unit = FastReleaseUnit(0)
+        unit.begin(5)
+        unit.mark(0xA)
+        lines = unit.context_switch()
+        assert lines == frozenset({0xA})
+        assert not unit.eligible
+
+    def test_switch_of_idle_core_is_empty(self):
+        unit = FastReleaseUnit(0)
+        assert unit.context_switch() == frozenset()

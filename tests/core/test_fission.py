@@ -1,0 +1,114 @@
+"""Unit tests for metastate fission/fusion (Tables 3a and 3b)."""
+
+import pytest
+
+from repro.common.errors import MetastateError
+from repro.core.fission import fission, fission_table, fuse, fuse_many
+from repro.core.metastate import META_ZERO, Meta
+
+T = 8
+
+
+class TestFission:
+    """Table 3(a): splitting metastate for a new shared copy."""
+
+    def test_anonymous_count_stays_with_original(self):
+        retained, new = fission(Meta(3, None), T)
+        assert retained == Meta(3, None)
+        assert new == META_ZERO
+
+    def test_identified_reader_stays_with_original(self):
+        retained, new = fission(Meta(1, 5), T)
+        assert retained == Meta(1, 5)
+        assert new == META_ZERO
+
+    def test_writer_state_replicates(self):
+        retained, new = fission(Meta(T, 5), T)
+        assert retained == Meta(T, 5)
+        assert new == Meta(T, 5)
+
+    def test_zero_fissions_to_zero(self):
+        retained, new = fission(META_ZERO, T)
+        assert retained == META_ZERO
+        assert new == META_ZERO
+
+
+class TestFusion:
+    """Table 3(b): merging two copies' metastate."""
+
+    def test_counts_add(self):
+        assert fuse(Meta(2, None), Meta(3, None), T) == Meta(5, None)
+
+    def test_zero_plus_identified_reader(self):
+        assert fuse(META_ZERO, Meta(1, 5), T) == Meta(1, 5)
+
+    def test_count_plus_identified_reader_anonymizes(self):
+        assert fuse(Meta(2, None), Meta(1, 5), T) == Meta(3, None)
+
+    def test_zero_plus_writer(self):
+        assert fuse(META_ZERO, Meta(T, 5), T) == Meta(T, 5)
+
+    def test_count_plus_writer_is_error(self):
+        with pytest.raises(MetastateError):
+            fuse(Meta(2, None), Meta(T, 5), T)
+
+    def test_two_identified_readers_anonymize(self):
+        assert fuse(Meta(1, 4), Meta(1, 5), T) == Meta(2, None)
+
+    def test_reader_plus_writer_is_error(self):
+        with pytest.raises(MetastateError):
+            fuse(Meta(1, 4), Meta(T, 5), T)
+
+    def test_same_writer_deduplicates(self):
+        assert fuse(Meta(T, 5), Meta(T, 5), T) == Meta(T, 5)
+
+    def test_different_writers_is_error(self):
+        with pytest.raises(MetastateError):
+            fuse(Meta(T, 4), Meta(T, 5), T)
+
+    def test_fusion_is_symmetric_on_legal_pairs(self):
+        pairs = [
+            (Meta(2, None), Meta(3, None)),
+            (META_ZERO, Meta(1, 5)),
+            (Meta(1, 4), Meta(1, 5)),
+            (META_ZERO, Meta(T, 5)),
+        ]
+        for a, b in pairs:
+            assert fuse(a, b, T) == fuse(b, a, T)
+
+    def test_reader_count_reaching_t_is_error(self):
+        with pytest.raises(MetastateError):
+            fuse(Meta(4, None), Meta(4, None), T)
+
+
+class TestFuseMany:
+    def test_empty_is_zero(self):
+        assert fuse_many([], T) == META_ZERO
+
+    def test_fold_over_copies(self):
+        metas = [Meta(1, 2), Meta(2, None), META_ZERO, Meta(1, 9)]
+        assert fuse_many(metas, T) == Meta(4, None)
+
+    def test_replicated_writer_dedups_across_many(self):
+        metas = [Meta(T, 3), META_ZERO, Meta(T, 3)]
+        assert fuse_many(metas, T) == Meta(T, 3)
+
+
+class TestFissionFusionRoundTrip:
+    """Fission then fusion must restore the original metastate."""
+
+    @pytest.mark.parametrize("meta", [
+        META_ZERO, Meta(1, 5), Meta(3, None), Meta(T, 5),
+    ])
+    def test_round_trip(self, meta):
+        retained, new = fission(meta, T)
+        assert fuse(retained, new, T) == meta
+
+
+def test_fission_table_matches_paper():
+    rows = fission_table(T)
+    assert rows == (
+        ("(u, -)", "(u, -)", "(0, -)"),
+        ("(1, X)", "(1, X)", "(0, -)"),
+        ("(T, X)", "(T, X)", "(T, X)"),
+    )

@@ -1,0 +1,37 @@
+"""Small coverage tests for utility paths not hit elsewhere."""
+
+from repro.core.metabits import CacheMetabits
+from repro.core.metastate import Meta, transition_table
+from repro.core.fission import fission_table
+
+T = 8
+
+
+class TestCacheMetabitsCopy:
+    def test_copy_is_independent(self):
+        original = CacheMetabits.encode(Meta(3, None), T, 0)
+        clone = original.copy()
+        clone.attr = 7
+        assert original.attr == 3
+        assert clone.logical(T, 0) == Meta(7, None)
+
+    def test_copy_preserves_all_bits(self):
+        for meta in (Meta(1, 2), Meta(T, 2), Meta(5, None)):
+            original = CacheMetabits.encode(meta, T, 2)
+            assert original.copy().state_tuple() == original.state_tuple()
+
+
+class TestDisplayHelpers:
+    def test_transition_table_uses_given_tids(self):
+        rows = transition_table(T, x=7, y=9)
+        assert rows[0][2] == "(1, 7)"
+        assert rows[5][1] == "(T, 9)"
+
+    def test_fission_table_stable(self):
+        assert fission_table(16) == fission_table(1 << 14)
+
+    def test_metabits_repr(self):
+        mb = CacheMetabits.encode(Meta(1, 3), T, 3)
+        assert "R" in repr(mb)
+        assert "attr=3" in repr(mb)
+        assert "0" in repr(CacheMetabits())

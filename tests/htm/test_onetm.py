@@ -1,0 +1,95 @@
+"""Direct-drive tests of the OneTM serialized-overflow baseline."""
+
+from repro.common.config import HTMConfig
+from repro.coherence.protocol import MemorySystem
+from repro.htm.base import ConflictKind
+from repro.htm.onetm import OneTM
+from tests.conftest import SMALL_T, small_system
+
+B = 0x6000
+
+
+def build(l1_kb=1):
+    cfg = HTMConfig(tokens_per_block=SMALL_T)
+    return OneTM(MemorySystem(small_system(l1_kb=l1_kb)), cfg)
+
+
+def overflow_txn(htm, core, tid, base, count=6):
+    """Run a transaction big enough to evict its own lines.
+
+    The 1 KB L1 has 4 sets; blocks ``base + i*4`` all land in one set
+    so the fifth access evicts a transactional line.
+    """
+    htm.begin(core, tid)
+    for i in range(count):
+        assert htm.read(core, tid, base + i * 4).granted
+
+
+class TestBounded:
+    def test_small_txn_never_overflows(self):
+        htm = build()
+        htm.begin(0, 0)
+        htm.read(0, 0, B)
+        htm.write(0, 0, B + 1)
+        out = htm.commit(0, 0)
+        assert out.used_fast_release
+        assert htm.stats.overflow_serializations == 0
+
+    def test_precise_conflicts(self):
+        htm = build()
+        htm.begin(0, 0)
+        htm.write(0, 0, B)
+        htm.begin(1, 1)
+        out = htm.write(1, 1, B)
+        assert not out.granted
+        assert out.conflict.kind is ConflictKind.WRITER
+        assert out.conflict.hints == (0,)
+
+
+class TestOverflowSerialization:
+    def test_first_overflow_takes_token(self):
+        htm = build()
+        overflow_txn(htm, 0, 0, B)
+        assert htm.stats.overflow_serializations == 1
+        htm.commit(0, 0)
+
+    def test_second_overflow_stalls(self):
+        htm = build()
+        overflow_txn(htm, 0, 0, B)            # holds the token
+        htm.begin(1, 1)
+        for i in range(5):
+            assert htm.read(1, 1, B + 1024 + i * 4).granted
+        # Thread 1's next access (after its own eviction) must stall.
+        out = htm.read(1, 1, B + 1024 + 5 * 4)
+        assert not out.granted
+        assert out.conflict.kind is ConflictKind.SERIALIZATION
+        assert out.conflict.hints == (0,)
+
+    def test_token_frees_on_commit(self):
+        htm = build()
+        overflow_txn(htm, 0, 0, B)
+        htm.begin(1, 1)
+        for i in range(5):
+            htm.read(1, 1, B + 1024 + i * 4)
+        assert not htm.read(1, 1, B + 1024 + 20).granted
+        htm.commit(0, 0)
+        assert htm.read(1, 1, B + 1024 + 20).granted
+        assert htm.stats.overflow_serializations == 2
+
+    def test_token_frees_on_abort(self):
+        htm = build()
+        overflow_txn(htm, 0, 0, B)
+        htm.abort(0, 0)
+        overflow_txn(htm, 1, 1, B + 1024)
+        assert htm.stats.overflow_serializations == 2
+        htm.commit(1, 1)
+
+    def test_non_overflowed_txns_run_concurrently(self):
+        htm = build()
+        overflow_txn(htm, 0, 0, B)
+        # A small disjoint transaction is unaffected.
+        htm.begin(1, 1)
+        assert htm.read(1, 1, B + 2048).granted
+        assert htm.write(1, 1, B + 2049).granted
+        htm.commit(1, 1)
+        htm.commit(0, 0)

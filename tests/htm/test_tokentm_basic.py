@@ -1,0 +1,153 @@
+"""Direct-drive tests of the TokenTM machine: lifecycle and tokens."""
+
+import pytest
+
+from repro.common.errors import TransactionError
+from repro.core.metastate import Meta
+from tests.conftest import SMALL_T
+
+B = 0x2000
+
+
+class TestLifecycle:
+    def test_begin_commit_empty(self, tokentm):
+        tokentm.begin(0, 0)
+        out = tokentm.commit(0, 0)
+        assert out.used_fast_release
+        assert tokentm.stats.commits == 1
+        tokentm.audit()
+
+    def test_double_begin_rejected(self, tokentm):
+        tokentm.begin(0, 0)
+        with pytest.raises(TransactionError):
+            tokentm.begin(0, 0)
+
+    def test_commit_without_begin_rejected(self, tokentm):
+        with pytest.raises(TransactionError):
+            tokentm.commit(0, 0)
+
+    def test_access_without_begin_rejected(self, tokentm):
+        with pytest.raises(TransactionError):
+            tokentm.read(0, 0, B)
+
+
+class TestTokenAcquisition:
+    def test_read_acquires_one_token(self, tokentm):
+        tokentm.begin(0, 0)
+        out = tokentm.read(0, 0, B)
+        assert out.granted
+        line = tokentm.mem.cache(0).lookup(B)
+        assert line.meta.logical(SMALL_T, 0) == Meta(1, 0)
+        assert tokentm.log_entries(0) == 1
+        tokentm.audit()
+
+    def test_write_acquires_all_tokens(self, tokentm):
+        tokentm.begin(0, 0)
+        out = tokentm.write(0, 0, B)
+        assert out.granted
+        line = tokentm.mem.cache(0).lookup(B)
+        assert line.meta.logical(SMALL_T, 0) == Meta(SMALL_T, 0)
+        tokentm.audit()
+
+    def test_reread_is_free(self, tokentm):
+        tokentm.begin(0, 0)
+        tokentm.read(0, 0, B)
+        entries = tokentm.log_entries(0)
+        out = tokentm.read(0, 0, B)
+        assert out.granted
+        assert tokentm.log_entries(0) == entries  # no new log record
+        tokentm.audit()
+
+    def test_read_to_write_upgrade(self, tokentm):
+        tokentm.begin(0, 0)
+        tokentm.read(0, 0, B)
+        out = tokentm.write(0, 0, B)
+        assert out.granted
+        line = tokentm.mem.cache(0).lookup(B)
+        assert line.meta.logical(SMALL_T, 0) == Meta(SMALL_T, 0)
+        # Two log records: 1 token, then T-1 more.
+        assert tokentm.log_entries(0) == 2
+        tokentm.audit()
+
+    def test_write_then_read_is_free(self, tokentm):
+        tokentm.begin(0, 0)
+        tokentm.write(0, 0, B)
+        entries = tokentm.log_entries(0)
+        out = tokentm.read(0, 0, B)
+        assert out.granted
+        assert tokentm.log_entries(0) == entries
+        tokentm.audit()
+
+    def test_multiple_readers_share_block(self, tokentm):
+        tokentm.begin(0, 0)
+        tokentm.begin(1, 1)
+        tokentm.begin(2, 2)
+        for core in range(3):
+            assert tokentm.read(core, core, B).granted
+        tokentm.audit()
+        # Three tokens debited in total across shards.
+        sizes = [tokentm.read_set_size(t) for t in range(3)]
+        assert sizes == [1, 1, 1]
+
+    def test_read_and_write_set_sizes(self, tokentm):
+        tokentm.begin(0, 0)
+        tokentm.read(0, 0, B)
+        tokentm.read(0, 0, B + 1)
+        tokentm.write(0, 0, B + 2)
+        assert tokentm.read_set_size(0) == 2
+        assert tokentm.write_set_size(0) == 1
+
+
+class TestCommitReleasesTokens:
+    def test_fast_commit_clears_metastate(self, tokentm):
+        tokentm.begin(0, 0)
+        tokentm.read(0, 0, B)
+        tokentm.write(0, 0, B + 1)
+        out = tokentm.commit(0, 0)
+        assert out.used_fast_release
+        for block in (B, B + 1):
+            line = tokentm.mem.cache(0).lookup(block)
+            assert line.meta is None or line.meta.is_clear()
+        tokentm.audit()
+
+    def test_block_reusable_after_commit(self, tokentm):
+        tokentm.begin(0, 0)
+        tokentm.write(0, 0, B)
+        tokentm.commit(0, 0)
+        tokentm.begin(1, 1)
+        assert tokentm.write(1, 1, B).granted
+        tokentm.audit()
+
+    def test_nofast_commit_walks_log(self, tokentm_nofast):
+        htm = tokentm_nofast
+        htm.begin(0, 0)
+        htm.read(0, 0, B)
+        htm.write(0, 0, B + 1)
+        out = htm.commit(0, 0)
+        assert not out.used_fast_release
+        assert out.software_release_cycles > 0
+        htm.audit()
+        # Tokens all returned.
+        htm.begin(1, 1)
+        assert htm.write(1, 1, B).granted
+        assert htm.write(1, 1, B + 1).granted
+
+
+class TestAbort:
+    def test_abort_releases_tokens(self, tokentm):
+        tokentm.begin(0, 0)
+        tokentm.read(0, 0, B)
+        tokentm.write(0, 0, B + 1)
+        tokentm.abort(0, 0)
+        assert tokentm.stats.aborts == 1
+        tokentm.audit()
+        tokentm.begin(1, 1)
+        assert tokentm.write(1, 1, B).granted
+        assert tokentm.write(1, 1, B + 1).granted
+
+    def test_abort_charges_undo_for_writes(self, tokentm):
+        tokentm.begin(0, 0)
+        tokentm.write(0, 0, B)
+        out = tokentm.abort(0, 0)
+        assert out.latency > tokentm.mem.config.latency.conflict_trap
+        assert tokentm.stats.undo_cycles > 0

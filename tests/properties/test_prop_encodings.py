@@ -1,0 +1,85 @@
+"""Property tests: metabit encodings are lossless and well-formed."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metabits import CacheMetabits
+from repro.core.metastate import META_ZERO, Meta
+from repro.mem.metabit_store import (
+    ATTR_MAX,
+    decode_memory_metabits,
+    encode_memory_metabits,
+)
+
+T = 1 << 14
+
+
+def memory_metas():
+    return st.one_of(
+        st.just(META_ZERO),
+        st.integers(1, ATTR_MAX).map(lambda n: Meta(n, None)),
+        st.integers(0, ATTR_MAX).map(lambda tid: Meta(1, tid)),
+        st.integers(0, ATTR_MAX).map(lambda tid: Meta(T, tid)),
+    )
+
+
+@given(memory_metas())
+def test_memory_encoding_round_trip(meta):
+    bits = encode_memory_metabits(meta, T)
+    assert 0 <= bits < (1 << 16)
+    assert decode_memory_metabits(bits, T) == meta
+
+
+@given(memory_metas(), st.integers(0, ATTR_MAX))
+def test_cache_encoding_round_trip(meta, current_tid):
+    mb = CacheMetabits.encode(meta, T, current_tid)
+    mb.check()
+    assert mb.logical(T, current_tid) == meta
+
+
+@given(memory_metas(), st.integers(0, ATTR_MAX),
+       st.integers(0, ATTR_MAX))
+def test_context_switch_preserves_totals(meta, current_tid, next_tid):
+    mb = CacheMetabits.encode(meta, T, current_tid)
+    mb.context_switch()
+    mb.check()
+    after = mb.logical(T, next_tid)
+    assert after.total == meta.total
+
+
+@given(st.integers(0, 50), st.integers(0, ATTR_MAX))
+def test_read_marking_then_flash_clear_restores_count(others, tid):
+    """Flash-clearing R returns exactly the current thread's token."""
+    if others == 0:
+        mb = CacheMetabits()
+    else:
+        mb = CacheMetabits.encode(Meta(others, None), T, tid)
+    mb.set_read(tid)
+    assert mb.logical(T, tid).total == others + 1
+    mb.flash_clear()
+    assert mb.logical(T, tid).total == others
+
+
+@given(st.integers(0, ATTR_MAX))
+def test_write_marking_then_flash_clear(tid):
+    mb = CacheMetabits()
+    mb.set_write(tid)
+    assert mb.logical(T, tid) == Meta(T, tid)
+    mb.flash_clear()
+    assert mb.is_clear()
+
+
+@given(st.integers(0, ATTR_MAX), st.integers(0, ATTR_MAX))
+def test_switch_then_reread_keeps_books(tid, next_tid):
+    """The Section 4.4 R'-handling never loses or invents tokens.
+
+    Thread ``tid`` holds one token; after a switch, ``next_tid``
+    reads the same block.  The result must show exactly two tokens
+    (or one if it was the same thread reclaiming its primed bit).
+    """
+    mb = CacheMetabits()
+    mb.set_read(tid)
+    mb.context_switch()
+    mb.set_read(next_tid)
+    expected = 1 if next_tid == tid else 2
+    assert mb.logical(T, next_tid).total == expected

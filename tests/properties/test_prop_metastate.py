@@ -1,0 +1,103 @@
+"""Property tests: token conservation in the metastate algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fission import fission, fuse, fuse_many
+from repro.core.metastate import (
+    META_ZERO,
+    Meta,
+    acquire_read,
+    acquire_write,
+    release,
+)
+
+T = 16
+
+
+def metas():
+    """Legal metastates for T=16."""
+    return st.one_of(
+        st.just(META_ZERO),
+        st.integers(1, T - 2).map(lambda n: Meta(n, None)),
+        st.integers(0, 9).map(lambda tid: Meta(1, tid)),
+        st.integers(0, 9).map(lambda tid: Meta(T, tid)),
+    )
+
+
+@given(metas(), st.integers(0, 9))
+def test_acquire_read_conserves_or_adds_one(meta, tid):
+    res = acquire_read(meta, tid, T)
+    if res.granted:
+        assert res.meta.total == meta.total + res.acquired
+        assert res.acquired in (0, 1)
+    else:
+        assert res.meta == meta  # conflicts change nothing
+
+
+@given(metas(), st.integers(0, 9))
+def test_acquire_write_reaches_exactly_t_or_fails(meta, tid):
+    res = acquire_write(meta, tid, T)
+    if res.granted:
+        assert res.meta.total == T
+        assert res.meta.tid == tid
+        assert res.acquired == T - meta.total
+    else:
+        assert res.meta == meta
+
+
+@given(metas(), st.integers(0, 9))
+def test_release_inverts_read_acquire(meta, tid):
+    res = acquire_read(meta, tid, T)
+    if res.granted and res.acquired:
+        back = release(res.meta, tid, res.acquired, T)
+        assert back.total == meta.total
+
+
+@given(st.integers(0, 9))
+def test_release_inverts_write_acquire(tid):
+    res = acquire_write(META_ZERO, tid, T)
+    assert release(res.meta, tid, res.acquired, T) == META_ZERO
+
+
+@given(metas())
+def test_fission_conserves_tokens(meta):
+    retained, new = fission(meta, T)
+    if meta.total == T:
+        # Writer state replicates; fusion de-duplicates it.
+        assert retained == new == meta
+    else:
+        assert retained.total + new.total == meta.total
+    assert fuse(retained, new, T) == meta
+
+
+@given(st.lists(st.integers(0, 9), min_size=0, max_size=5))
+def test_sequential_readers_sum(tids):
+    """Distinct readers each add one token to the block's total."""
+    meta = META_ZERO
+    for tid in tids:
+        res = acquire_read(meta, tid, T)
+        if not res.granted:
+            break
+        meta = res.meta
+    distinct = len(set(tids))
+    # Repeated reads by the identified single reader are free; once
+    # anonymized, re-reads still acquire.  The total never exceeds
+    # the number of acquisition events and never reaches T.
+    assert meta.total <= len(tids)
+    assert meta.total < T
+    if distinct == len(tids):
+        assert meta.total == len(tids)
+
+
+@given(st.lists(metas(), min_size=0, max_size=6))
+@settings(max_examples=200)
+def test_fuse_many_order_independent(shards):
+    """Fusing reader shards in any order gives the same total."""
+    readers = [s for s in shards if s.total < T]
+    total = sum(s.total for s in readers)
+    if total >= T:
+        return  # would be illegal: skip
+    forward = fuse_many(readers, T)
+    backward = fuse_many(list(reversed(readers)), T)
+    assert forward.total == backward.total == total

@@ -1,0 +1,61 @@
+"""Property tests: signature soundness (never a false negative)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SignatureConfig
+from repro.signatures import BloomSignature, PerfectSignature
+
+blocks = st.integers(0, (1 << 40) - 1)
+
+
+@given(st.sets(blocks, max_size=200), st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=100)
+def test_bloom_no_false_negatives(members, k):
+    sig = BloomSignature(SignatureConfig(bits=2048, num_hashes=k))
+    for b in members:
+        sig.insert(b)
+    assert all(sig.test(b) for b in members)
+    assert sig.inserted_count == len(members)
+
+
+@given(st.sets(blocks, max_size=50))
+def test_bloom_clear_is_total(members):
+    sig = BloomSignature(SignatureConfig())
+    for b in members:
+        sig.insert(b)
+    sig.clear()
+    assert sig.is_empty()
+    assert not any(sig.test(b) for b in members)
+
+
+@given(st.sets(blocks, max_size=100), st.sets(blocks, max_size=100))
+def test_perfect_is_exact(members, probes):
+    sig = PerfectSignature()
+    for b in members:
+        sig.insert(b)
+    for p in probes:
+        assert sig.test(p) == (p in members)
+
+
+@given(st.sets(blocks, min_size=1, max_size=150))
+@settings(max_examples=50)
+def test_bloom_fp_classification_consistent(members):
+    """test_exact never returns True where test returns False."""
+    sig = BloomSignature(SignatureConfig())
+    for b in members:
+        sig.insert(b)
+    for probe in list(members)[:20]:
+        assert sig.test(probe) and sig.test_exact(probe)
+
+
+@given(st.sets(blocks, max_size=300))
+@settings(max_examples=50)
+def test_fill_ratio_monotone(members):
+    sig = BloomSignature(SignatureConfig())
+    last = 0.0
+    for b in members:
+        sig.insert(b)
+        now = sig.fill_ratio
+        assert now >= last
+        last = now

@@ -1,0 +1,116 @@
+"""Unit tests for the serializability history validator."""
+
+import pytest
+
+from repro.common.errors import SerializabilityError
+from repro.runtime.history import HistoryValidator
+
+
+class TestRecording:
+    def test_commit_captures_accesses(self):
+        h = HistoryValidator()
+        h.begin(0, 10)
+        h.access(0, 0xA, False, 12)
+        h.access(0, 0xB, True, 15)
+        h.commit(0, 20)
+        assert len(h.committed) == 1
+        txn = h.committed[0]
+        assert txn.accesses[0xA] == (12, None)
+        assert txn.accesses[0xB] == (None, 15)
+
+    def test_abort_discards(self):
+        h = HistoryValidator()
+        h.begin(0, 10)
+        h.access(0, 0xA, False, 12)
+        h.abort(0, 20)
+        assert h.committed == []
+        assert h.aborted_count == 1
+
+    def test_disabled_records_nothing(self):
+        h = HistoryValidator(enabled=False)
+        h.begin(0, 10)
+        h.access(0, 0xA, False, 12)
+        h.commit(0, 20)
+        assert h.committed == []
+
+    def test_read_then_write_keeps_both_times(self):
+        h = HistoryValidator()
+        h.begin(0, 10)
+        h.access(0, 0xA, False, 12)
+        h.access(0, 0xA, True, 18)
+        h.commit(0, 20)
+        assert h.committed[0].accesses[0xA] == (12, 18)
+
+
+class TestValidation:
+    def test_serial_writers_pass(self):
+        h = HistoryValidator()
+        h.begin(0, 0)
+        h.access(0, 0xA, True, 1)
+        h.commit(0, 10)
+        h.begin(1, 11)
+        h.access(1, 0xA, True, 12)
+        h.commit(1, 20)
+        h.check_serializable()
+
+    def test_overlapping_writers_fail(self):
+        h = HistoryValidator()
+        h.begin(0, 0)
+        h.access(0, 0xA, True, 1)
+        h.begin(1, 0)
+        h.access(1, 0xA, True, 2)
+        h.commit(0, 10)
+        h.commit(1, 11)
+        with pytest.raises(SerializabilityError):
+            h.check_serializable()
+
+    def test_concurrent_readers_pass(self):
+        h = HistoryValidator()
+        for tid in range(3):
+            h.begin(tid, 0)
+            h.access(tid, 0xA, False, 1)
+        for tid in range(3):
+            h.commit(tid, 10)
+        h.check_serializable()
+
+    def test_reader_overlapping_writer_fails(self):
+        h = HistoryValidator()
+        h.begin(0, 0)
+        h.access(0, 0xA, True, 1)
+        h.begin(1, 0)
+        h.access(1, 0xA, False, 5)  # reads while writer holds
+        h.commit(0, 10)
+        h.commit(1, 12)
+        with pytest.raises(SerializabilityError):
+            h.check_serializable()
+
+    def test_late_read_after_writer_commit_passes(self):
+        # B began before A committed but only touched the block after.
+        h = HistoryValidator()
+        h.begin(0, 0)
+        h.access(0, 0xA, True, 1)
+        h.begin(1, 2)          # overlapping lifetime...
+        h.commit(0, 10)
+        h.access(1, 0xA, False, 11)  # ...but access after the commit
+        h.commit(1, 20)
+        h.check_serializable()
+
+    def test_skew_tolerance_suppresses_small_overlap(self):
+        h = HistoryValidator()
+        h.begin(0, 0)
+        h.access(0, 0xA, True, 1)
+        h.begin(1, 0)
+        h.access(1, 0xA, True, 9)
+        h.commit(0, 10)  # 1-cycle overlap with txn 1's access
+        h.commit(1, 20)
+        with pytest.raises(SerializabilityError):
+            h.check_serializable(skew_tolerance=0)
+        h.check_serializable(skew_tolerance=5)  # tolerated
+
+    def test_commit_order(self):
+        h = HistoryValidator()
+        h.begin(0, 0)
+        h.commit(0, 30)
+        h.begin(1, 0)
+        h.commit(1, 20)
+        assert h.commit_order() == [1, 0]

@@ -1,0 +1,145 @@
+"""Preemptive (multiprogrammed) executor tests.
+
+More threads than cores: the executor time-shares, issuing the HTM's
+context-switch instruction on every occupancy change.  TokenTM keeps
+descheduled transactions' tokens through its flash-OR metabits;
+OneTM forces switched transactions into the serialized overflow mode.
+"""
+
+import pytest
+
+from repro.common.config import HTMConfig, RunConfig
+from repro.common.errors import SimulationError
+from repro.coherence.protocol import MemorySystem
+from repro.htm import make_htm
+from repro.runtime.executor import Executor, run_workload
+from repro.workloads.trace import (
+    ThreadTrace,
+    WorkloadTrace,
+    begin,
+    commit,
+    compute,
+    read,
+    write,
+)
+from tests.conftest import SMALL_T, small_system
+
+B = 0xA000
+
+
+def machine(variant="TokenTM", cores=2):
+    cfg = HTMConfig(tokens_per_block=SMALL_T)
+    return make_htm(variant, MemorySystem(small_system(cores=cores)), cfg)
+
+
+def cfg(**kw):
+    kw.setdefault("htm", HTMConfig(tokens_per_block=SMALL_T))
+    kw.setdefault("audit", True)
+    return RunConfig(**kw)
+
+
+def overcommitted_trace(nthreads=6, txns=4):
+    threads = []
+    for t in range(nthreads):
+        ops = []
+        for i in range(txns):
+            ops.extend([
+                begin(), read(B + 64 * t + i), compute(300),
+                write(B + 64 * t + i + 32), commit(), compute(200),
+            ])
+        threads.append(ThreadTrace(t, ops))
+    return WorkloadTrace("overcommit", threads)
+
+
+class TestPreemptiveBasics:
+    def test_overcommit_requires_preemption(self):
+        trace = overcommitted_trace()
+        with pytest.raises(SimulationError):
+            Executor(machine(), trace, cfg(), preemptive=False)
+
+    def test_all_transactions_commit(self):
+        trace = overcommitted_trace()
+        result = run_workload(machine(), trace, cfg(), timeslice=1000)
+        assert result.stats.commits == trace.transaction_count()
+        assert result.stats.preemptions > 0
+        result.history.check_serializable(skew_tolerance=5000)
+
+    @pytest.mark.parametrize("variant", [
+        "TokenTM", "TokenTM_NoFast", "LogTM-SE_Perf",
+        "LogTM-SE_4xH3", "OneTM",
+    ])
+    def test_variants_survive_overcommit(self, variant):
+        trace = overcommitted_trace(nthreads=5, txns=3)
+        result = run_workload(
+            machine(variant), trace,
+            cfg(audit=variant.startswith("TokenTM")),
+            timeslice=800,
+        )
+        assert result.stats.commits == trace.transaction_count()
+        result.history.check_serializable(skew_tolerance=5000)
+
+    def test_conflicting_overcommitted_threads(self):
+        # All threads hammer one block while time-sharing two cores.
+        threads = [
+            ThreadTrace(t, sum(
+                [[begin(), write(B), compute(100), commit(),
+                  compute(50)] for _ in range(3)], []))
+            for t in range(5)
+        ]
+        trace = WorkloadTrace("hot-overcommit", threads)
+        result = run_workload(machine(), trace, cfg(), timeslice=500)
+        assert result.stats.commits == 15
+        result.history.check_serializable(skew_tolerance=5000)
+
+
+class TestSwitchSemantics:
+    def test_tokens_survive_timeslicing(self):
+        """A transaction spanning several timeslices keeps isolation."""
+        threads = [
+            ThreadTrace(0, [begin(), write(B), compute(5_000), commit()]),
+            ThreadTrace(1, [compute(600), begin(), read(B),
+                            compute(100), commit()]),
+            ThreadTrace(2, [compute(400)] * 10),
+        ]
+        trace = WorkloadTrace("span", threads)
+        result = run_workload(machine(cores=2), trace, cfg(),
+                              timeslice=1000, quantum=100)
+        assert result.stats.commits == 2
+        result.history.check_serializable(skew_tolerance=6000)
+
+    def test_switched_tokentm_txn_commits_software(self):
+        # With a timeslice smaller than the transaction, TokenTM
+        # commits via the log walk (fast release forfeited by the
+        # flash-OR), never losing tokens.
+        threads = [
+            ThreadTrace(t, [begin(), read(B + t), compute(3_000),
+                            write(B + 16 + t), commit()])
+            for t in range(4)
+        ]
+        trace = WorkloadTrace("sliced", threads)
+        result = run_workload(machine(cores=2), trace, cfg(),
+                              timeslice=700)
+        assert result.stats.commits == 4
+        # Every transaction outlived its timeslice: none can use the
+        # fast path.
+        assert result.stats.fast.count == 0
+
+    def test_onetm_switch_forces_overflow(self):
+        threads = [
+            ThreadTrace(t, [begin(), read(B + 64 * t), compute(3_000),
+                            write(B + 64 * t + 1), commit()])
+            for t in range(4)
+        ]
+        trace = WorkloadTrace("onetm-sliced", threads)
+        result = run_workload(machine("OneTM", cores=2), trace,
+                              cfg(audit=False), timeslice=700)
+        assert result.stats.commits == 4
+        assert result.stats.machine["overflow_serializations"] > 0
+
+    def test_dedicated_mode_unaffected(self):
+        # preemptive=None with threads == cores keeps the old path.
+        threads = [ThreadTrace(t, [begin(), read(B + t), commit()])
+                   for t in range(2)]
+        trace = WorkloadTrace("plain", threads)
+        result = run_workload(machine(cores=2), trace, cfg())
+        assert result.stats.preemptions == 0

@@ -1,0 +1,73 @@
+"""RunStats aggregation and speedup helper tests."""
+
+from repro.runtime.stats import ReleaseBucket, RunStats, speedup
+
+
+class TestReleaseBucket:
+    def test_empty_bucket_averages_zero(self):
+        bucket = ReleaseBucket()
+        assert bucket.avg_read_set == 0.0
+        assert bucket.avg_duration == 0.0
+        assert bucket.avg_release_cycles == 0.0
+
+    def test_accumulation(self):
+        bucket = ReleaseBucket()
+        bucket.add(10, 2, 1000, 50)
+        bucket.add(20, 4, 3000, 150)
+        assert bucket.count == 2
+        assert bucket.avg_read_set == 15.0
+        assert bucket.avg_write_set == 3.0
+        assert bucket.avg_duration == 2000.0
+        assert bucket.avg_release_cycles == 100.0
+
+
+class TestRunStats:
+    def test_record_commit_buckets(self):
+        stats = RunStats()
+        stats.record_commit(True, 5, 1, 500, 0)
+        stats.record_commit(False, 50, 10, 9000, 800)
+        assert stats.commits == 2
+        assert stats.fast.count == 1
+        assert stats.software.count == 1
+        assert stats.fast_release_fraction == 0.5
+        assert stats.avg_read_set == 27.5
+        assert stats.max_read_set == 50
+        assert stats.max_write_set == 10
+
+    def test_abort_rate(self):
+        stats = RunStats()
+        stats.record_commit(True, 1, 1, 10, 0)
+        stats.aborts = 3
+        assert stats.abort_rate == 0.75
+
+    def test_empty_stats_are_safe(self):
+        stats = RunStats()
+        assert stats.fast_release_fraction == 0.0
+        assert stats.abort_rate == 0.0
+        assert stats.log_stall_fraction == 0.0
+
+    def test_log_stall_fraction(self):
+        stats = RunStats()
+        stats.makespan = 1000
+        stats.machine = {"log_stall_cycles": 320, "_threads": 4}
+        assert stats.log_stall_fraction == 320 / 4000
+
+    def test_snapshot_round_trip(self):
+        stats = RunStats(workload="W", variant="V")
+        stats.record_commit(True, 5, 1, 500, 0)
+        snap = stats.snapshot()
+        assert snap["workload"] == "W"
+        assert snap["variant"] == "V"
+        assert snap["commits"] == 1
+
+
+class TestSpeedup:
+    def test_faster_is_above_one(self):
+        base = RunStats(makespan=1000)
+        fast = RunStats(makespan=500)
+        assert speedup(base, fast) == 2.0
+
+    def test_zero_makespan(self):
+        base = RunStats(makespan=1000)
+        broken = RunStats(makespan=0)
+        assert speedup(base, broken) == float("inf")

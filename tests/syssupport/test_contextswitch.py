@@ -1,0 +1,67 @@
+"""CoreScheduler tests: deschedule, resume, migrate."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.syssupport.contextswitch import CoreScheduler
+
+B = 0x8000
+
+
+class TestScheduling:
+    def test_start_and_deschedule(self, tokentm):
+        sched = CoreScheduler(tokentm)
+        sched.start(0, 7)
+        assert sched.running(0) == 7
+        cycles = sched.deschedule(0)
+        assert cycles >= 0
+        assert sched.running(0) is None
+        assert sched.history[0].tid == 7
+
+    def test_double_start_rejected(self, tokentm):
+        sched = CoreScheduler(tokentm)
+        sched.start(0, 7)
+        with pytest.raises(SimulationError):
+            sched.start(0, 8)
+
+    def test_deschedule_idle_core_rejected(self, tokentm):
+        sched = CoreScheduler(tokentm)
+        with pytest.raises(SimulationError):
+            sched.deschedule(0)
+
+
+class TestMidTransactionSwitch:
+    def test_tokens_survive_switch(self, tokentm):
+        sched = CoreScheduler(tokentm)
+        sched.start(0, 0)
+        tokentm.begin(0, 0)
+        tokentm.read(0, 0, B)
+        sched.deschedule(0)
+        tokentm.audit()
+        # A new thread on core 0 cannot write the protected block.
+        sched.start(0, 9)
+        tokentm.begin(0, 9)
+        assert not tokentm.write(0, 9, B).granted
+        tokentm.commit(0, 9)
+        tokentm.audit()
+
+    def test_migrate_continues_transaction(self, tokentm):
+        sched = CoreScheduler(tokentm)
+        sched.start(0, 0)
+        tokentm.begin(0, 0)
+        tokentm.read(0, 0, B)
+        sched.migrate(0, 3)
+        assert sched.running(3) == 0
+        assert tokentm.write(3, 0, B).granted  # upgrade on new core
+        tokentm.commit(3, 0)
+        tokentm.audit()
+
+    def test_migrated_commit_uses_software_release(self, tokentm):
+        sched = CoreScheduler(tokentm)
+        sched.start(0, 0)
+        tokentm.begin(0, 0)
+        tokentm.read(0, 0, B)
+        sched.migrate(0, 2)
+        out = tokentm.commit(2, 0)
+        assert not out.used_fast_release
+        tokentm.audit()

@@ -1,0 +1,125 @@
+"""System-V shared memory and TID authority tests."""
+
+import pytest
+
+from repro.common.errors import SimulationError, TokenError
+from repro.core.metastate import Meta
+from repro.mem.metabit_store import ATTR_MAX
+from repro.syssupport.paging import BLOCKS_PER_PAGE
+from repro.syssupport.sysv import SharedSegment, TidAuthority
+from tests.conftest import SMALL_T
+
+SEG_PAGE = 0x50
+SEG_BLOCK = SEG_PAGE * BLOCKS_PER_PAGE
+
+
+class TestTidAuthority:
+    def test_tids_unique_across_processes(self):
+        auth = TidAuthority()
+        tids = [auth.allocate(p) for p in (0, 1, 0, 2)]
+        assert len(set(tids)) == 4
+
+    def test_owner_lookup(self):
+        auth = TidAuthority()
+        tid = auth.allocate(3)
+        assert auth.owner_process(tid) == 3
+        assert auth.owner_process(9999) is None
+
+    def test_release(self):
+        auth = TidAuthority()
+        tid = auth.allocate(1)
+        auth.release(1, tid)
+        assert auth.owner_process(tid) is None
+
+    def test_release_foreign_tid_rejected(self):
+        auth = TidAuthority()
+        tid = auth.allocate(1)
+        with pytest.raises(SimulationError):
+            auth.release(2, tid)
+
+    def test_exhaustion(self):
+        auth = TidAuthority()
+        auth._next = ATTR_MAX + 1
+        with pytest.raises(TokenError):
+            auth.allocate(0)
+
+
+class TestSharedSegment:
+    def segment(self):
+        return SharedSegment(SEG_PAGE, 2, TidAuthority())
+
+    def test_attach_detach(self):
+        seg = self.segment()
+        seg.attach(0)
+        seg.attach(1)
+        assert seg.attached == {0, 1}
+        seg.detach(0)
+        assert seg.attached == {1}
+
+    def test_blocks_span_pages(self):
+        seg = self.segment()
+        assert len(seg.blocks()) == 2 * BLOCKS_PER_PAGE
+        assert seg.contains_block(SEG_BLOCK)
+        assert not seg.contains_block(SEG_BLOCK - 1)
+
+    def test_conflict_processes(self):
+        seg = self.segment()
+        t0 = seg.authority.allocate(10)
+        t1 = seg.authority.allocate(11)
+        t2 = seg.authority.allocate(10)
+        assert seg.conflict_processes([t0, t1, t2]) == [10, 11]
+
+
+class TestCrossProcessTransactions:
+    def test_conflict_detected_across_processes(self, tokentm):
+        """Two 'processes' (distinct TID ranges) share a segment."""
+        auth = TidAuthority()
+        tid_a = auth.allocate(100)
+        tid_b = auth.allocate(200)
+        tokentm.begin(0, tid_a)
+        tokentm.write(0, tid_a, SEG_BLOCK)
+        tokentm.begin(1, tid_b)
+        out = tokentm.read(1, tid_b, SEG_BLOCK)
+        assert not out.granted
+        assert out.conflict.hints == (tid_a,)
+        # The segment maps the conflicting TIDs back to processes so
+        # their contention managers can coordinate.
+        seg = SharedSegment(SEG_PAGE, 1, auth)
+        assert seg.conflict_processes(out.conflict.hints) == [100]
+        tokentm.commit(0, tid_a)
+        tokentm.audit()
+
+
+class TestCopyOnWrite:
+    def test_cow_split_fissions_home_metastate(self, tokentm):
+        # A committed reader left no tokens; a live reader's count is
+        # at home after eviction.
+        tid = 5
+        tokentm.begin(0, tid)
+        tokentm.read(0, tid, SEG_BLOCK)
+        tokentm.mem.evict(0, SEG_BLOCK)  # token fuses home
+        seg = SharedSegment(SEG_PAGE, 1, TidAuthority())
+        seg.fork_cow_page(tokentm, SEG_PAGE, new_page=0x99)
+        # Original page keeps the reader count; the copy starts clear.
+        assert tokentm._store.load(SEG_BLOCK) == Meta(1, tid)
+        assert tokentm._store.load(0x99 * BLOCKS_PER_PAGE).total == 0
+
+    def test_cow_split_with_cached_copies_rejected(self, tokentm):
+        tokentm.begin(0, 5)
+        tokentm.read(0, 5, SEG_BLOCK)
+        seg = SharedSegment(SEG_PAGE, 1, TidAuthority())
+        with pytest.raises(SimulationError):
+            seg.fork_cow_page(tokentm, SEG_PAGE, new_page=0x99)
+
+    def test_cow_split_with_writer_rejected(self, tokentm):
+        tokentm.begin(0, 5)
+        tokentm.write(0, 5, SEG_BLOCK)
+        tokentm.mem.evict(0, SEG_BLOCK)
+        seg = SharedSegment(SEG_PAGE, 1, TidAuthority())
+        with pytest.raises(SimulationError):
+            seg.fork_cow_page(tokentm, SEG_PAGE, new_page=0x99)
+
+    def test_cow_split_outside_segment_rejected(self, tokentm):
+        seg = SharedSegment(SEG_PAGE, 1, TidAuthority())
+        with pytest.raises(SimulationError):
+            seg.fork_cow_page(tokentm, SEG_PAGE + 5, new_page=0x99)

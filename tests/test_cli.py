@@ -1,0 +1,66 @@
+"""CLI smoke tests (direct invocation, captured stdout)."""
+
+import json
+
+import pytest
+
+from repro.cli import DEFAULT_SCALES, build_parser, main
+from repro.htm import VARIANTS
+
+
+class TestParser:
+    def test_variants_listed(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        for variant in VARIANTS:
+            assert variant in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "NotAWorkload", "TokenTM"])
+
+    def test_scales_cover_all_workloads(self):
+        from repro.workloads import tm_workloads
+        assert set(DEFAULT_SCALES) == set(tm_workloads())
+
+
+class TestCommands:
+    def test_run_text(self, capsys):
+        assert main(["run", "Cholesky", "TokenTM",
+                     "--scale", "0.001", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Cholesky on TokenTM" in out
+        assert "makespan" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "Cholesky", "TokenTM",
+                     "--scale", "0.001", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["variant"] == "TokenTM"
+        assert data["commits"] > 0
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Apache" in out and "BIND" in out
+
+    def test_table5(self, capsys):
+        assert main(["table5", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Delaunay" in out and "Num Xacts" in out
+
+    def test_figure5_subset(self, capsys):
+        assert main(["figure5", "--workloads", "Cholesky",
+                     "--scale", "0.001", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "TokenTM" in out and "Cholesky" in out
+
+    def test_figure1_with_cis(self, capsys):
+        assert main(["figure1", "--workloads", "Genome",
+                     "--scale", "0.001", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "confidence" in out

@@ -1,0 +1,88 @@
+"""Tests of the lock-based application models and the LCS analyzer."""
+
+import pytest
+
+from repro.analysis.lcs import analyze_lock_trace, table1
+from repro.workloads.lockapps import (
+    aolserver,
+    apache,
+    berkeleydb,
+    bind,
+    lock_applications,
+)
+from repro.workloads.trace import validate_trace
+
+#: Table 1 of the paper: (avg_lcs_ms, max_lcs_ms, % of exec time).
+TABLE1 = {
+    "AOLServer": (0.1, 0.7, 0.1),
+    "Apache": (49.6, 70.5, 1.4),
+    "BerkeleyDB": (0.1, 0.2, 0.01),
+    "BIND": (0.2, 1.8, 2.2),
+}
+
+
+class TestTraces:
+    def test_all_four_apps(self):
+        apps = lock_applications()
+        assert set(apps) == set(TABLE1)
+
+    @pytest.mark.parametrize("factory", [aolserver, apache,
+                                         berkeleydb, bind])
+    def test_traces_validate(self, factory):
+        validate_trace(factory(seed=1))
+
+    def test_deterministic(self):
+        a = bind(seed=3)
+        b = bind(seed=3)
+        assert [t.ops for t in a.threads] == [t.ops for t in b.threads]
+
+
+class TestAnalyzer:
+    def test_finds_all_critical_sections(self):
+        report = analyze_lock_trace(aolserver(seed=0))
+        # 4 threads x 40 LCS x (6 short + 1 long) sections.
+        assert len(report.sections) == 4 * 40 * 7
+
+    def test_lcs_are_the_blocking_ones(self):
+        report = analyze_lock_trace(aolserver(seed=0))
+        assert len(report.lcs) == 4 * 40
+        assert all(s.blocking for s in report.lcs)
+
+    def test_durations_positive(self):
+        report = analyze_lock_trace(bind(seed=0))
+        assert report.avg_lcs_ms > 0
+        assert report.max_lcs_ms >= report.avg_lcs_ms
+        assert 0 < report.lcs_time_percent < 100
+
+
+class TestTable1Reproduction:
+    @pytest.mark.parametrize("name", sorted(TABLE1))
+    def test_row_matches_paper(self, name):
+        avg, peak, pct = TABLE1[name]
+        report = analyze_lock_trace(lock_applications(seed=0)[name])
+        assert abs(report.avg_lcs_ms - avg) <= max(0.05, 0.4 * avg)
+        assert report.max_lcs_ms <= peak + 1e-9
+        assert report.max_lcs_ms >= 0.3 * peak
+        assert abs(report.lcs_time_percent - pct) <= max(0.01, 0.4 * pct)
+
+    def test_table1_rows_complete(self):
+        rows = table1(lock_applications(seed=0))
+        assert {r["benchmark"] for r in rows} == set(TABLE1)
+
+    def test_apache_has_the_biggest_lcs(self):
+        reports = {
+            name: analyze_lock_trace(trace)
+            for name, trace in lock_applications(seed=0).items()
+        }
+        assert reports["Apache"].max_lcs_ms == max(
+            r.max_lcs_ms for r in reports.values()
+        )
+
+    def test_bind_spends_most_time_in_lcs(self):
+        reports = {
+            name: analyze_lock_trace(trace)
+            for name, trace in lock_applications(seed=0).items()
+        }
+        assert reports["BIND"].lcs_time_percent == max(
+            r.lcs_time_percent for r in reports.values()
+        )

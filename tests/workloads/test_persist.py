@@ -1,0 +1,84 @@
+"""Trace save/load round-trip tests."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.workloads import barnes
+from repro.workloads.persist import MAGIC, load_trace, save_trace
+from repro.workloads.trace import (
+    ThreadTrace,
+    WorkloadTrace,
+    begin,
+    commit,
+    compute,
+    read,
+)
+
+
+class TestRoundTrip:
+    def test_generated_workload_round_trips(self, tmp_path):
+        original = barnes().generate(seed=3, scale=0.02)
+        path = tmp_path / "barnes.trace"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.name == original.name
+        assert loaded.num_threads == original.num_threads
+        assert [t.ops for t in loaded.threads] == \
+            [t.ops for t in original.threads]
+        assert loaded.params["seed"] == 3
+
+    def test_hand_built_trace(self, tmp_path):
+        trace = WorkloadTrace("mini", [
+            ThreadTrace(0, [begin(), read(7), commit(), compute(5)]),
+            ThreadTrace(3, [compute(9)]),
+        ], params={"note": "hand-built"})
+        path = tmp_path / "mini.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.threads[1].thread_id == 3
+        assert loaded.params["note"] == "hand-built"
+
+    def test_loaded_trace_is_runnable(self, tmp_path):
+        from repro.analysis.experiments import run_trace
+        original = barnes().generate(seed=4, scale=0.01)
+        path = tmp_path / "b.trace"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        a = run_trace(original, "TokenTM", seed=1)
+        b = run_trace(loaded, "TokenTM", seed=1)
+        assert a.makespan == b.makespan  # bit-identical replay
+
+
+class TestFormat:
+    def test_magic_line(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(WorkloadTrace("x", [ThreadTrace(0, [compute(1)])]),
+                   path)
+        assert path.read_text().splitlines()[0] == MAGIC
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_op_before_thread_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(f"{MAGIC}\n6 100\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_unknown_opcode_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(f"{MAGIC}\nT 0\n99 100\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_validation_optional(self, tmp_path):
+        # A trace ending mid-transaction loads with validate=False.
+        path = tmp_path / "open.trace"
+        path.write_text(f"{MAGIC}\nT 0\n0 0\n")
+        with pytest.raises(TraceError):
+            load_trace(path)
+        trace = load_trace(path, validate=False)
+        assert len(trace.threads[0].ops) == 1

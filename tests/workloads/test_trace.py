@@ -1,0 +1,98 @@
+"""Unit tests for the trace format and validation."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.workloads.trace import (
+    ThreadTrace,
+    WorkloadTrace,
+    begin,
+    commit,
+    compute,
+    lock,
+    nt_read,
+    read,
+    static_set_sizes,
+    unlock,
+    validate_trace,
+    write,
+)
+
+
+def trace_of(ops):
+    return WorkloadTrace("t", [ThreadTrace(0, list(ops))])
+
+
+class TestValidate:
+    def test_well_formed_passes(self):
+        validate_trace(trace_of([
+            begin(), read(1), write(2), commit(),
+            nt_read(3), compute(5), lock(1), unlock(1),
+        ]))
+
+    def test_nested_begin_rejected(self):
+        with pytest.raises(TraceError):
+            validate_trace(trace_of([begin(), begin()]))
+
+    def test_commit_outside_txn_rejected(self):
+        with pytest.raises(TraceError):
+            validate_trace(trace_of([commit()]))
+
+    def test_unclosed_txn_rejected(self):
+        with pytest.raises(TraceError):
+            validate_trace(trace_of([begin(), read(1)]))
+
+    def test_txn_access_outside_rejected(self):
+        with pytest.raises(TraceError):
+            validate_trace(trace_of([read(1)]))
+
+    def test_nt_access_inside_txn_rejected(self):
+        with pytest.raises(TraceError):
+            validate_trace(trace_of([begin(), nt_read(1), commit()]))
+
+    def test_zero_compute_rejected(self):
+        with pytest.raises(TraceError):
+            validate_trace(trace_of([compute(0)]))
+
+    def test_unbalanced_unlock_rejected(self):
+        with pytest.raises(TraceError):
+            validate_trace(trace_of([unlock(1)]))
+
+    def test_leaked_lock_rejected(self):
+        with pytest.raises(TraceError):
+            validate_trace(trace_of([lock(1)]))
+
+    def test_nested_locks_must_unwind_in_order(self):
+        validate_trace(trace_of([lock(1), lock(2), unlock(2), unlock(1)]))
+        with pytest.raises(TraceError):
+            validate_trace(trace_of([lock(1), lock(2),
+                                     unlock(1), unlock(2)]))
+
+
+class TestCounts:
+    def test_transaction_count(self):
+        t = trace_of([begin(), commit(), begin(), read(1), commit()])
+        assert t.transaction_count() == 2
+
+    def test_total_ops(self):
+        t = WorkloadTrace("t", [
+            ThreadTrace(0, [compute(1)] * 3),
+            ThreadTrace(1, [compute(1)] * 2),
+        ])
+        assert t.total_ops() == 5
+
+
+class TestStaticSetSizes:
+    def test_distinct_blocks_counted(self):
+        t = trace_of([
+            begin(), read(1), read(1), read(2), write(2), write(3),
+            commit(),
+        ])
+        assert static_set_sizes(t) == [(2, 2)]
+
+    def test_multiple_transactions(self):
+        t = trace_of([
+            begin(), read(1), commit(),
+            begin(), write(2), write(3), commit(),
+        ])
+        assert static_set_sizes(t) == [(1, 0), (0, 2)]
