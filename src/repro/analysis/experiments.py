@@ -30,6 +30,7 @@ from repro.common.config import HTMConfig, RunConfig, SystemConfig
 from repro.common.rng import perturbation_seeds
 from repro.coherence.protocol import MemorySystem
 from repro.htm import make_htm
+from repro.obs.events import EventBus
 from repro.runtime.executor import Executor
 from repro.runtime.stats import RunStats
 from repro.workloads.base import SyntheticTxnWorkload
@@ -67,11 +68,16 @@ def run_trace(trace: WorkloadTrace, variant: str,
               htm_config: Optional[HTMConfig] = None,
               seed: int = 0,
               audit: bool = False,
-              quantum: int = 200) -> RunStats:
-    """Execute an already-generated trace on a fresh machine."""
+              quantum: int = 200,
+              bus: Optional[EventBus] = None) -> RunStats:
+    """Execute an already-generated trace on a fresh machine.
+
+    Pass an enabled :class:`~repro.obs.events.EventBus` to trace the
+    run; the default null bus makes instrumentation free.
+    """
     sys_cfg = system or SystemConfig()
     cfg = htm_config or HTMConfig()
-    machine = make_htm(variant, MemorySystem(sys_cfg), cfg)
+    machine = make_htm(variant, MemorySystem(sys_cfg, bus=bus), cfg)
     run_cfg = RunConfig(system=sys_cfg, htm=cfg, seed=seed, audit=audit)
     executor = Executor(machine, trace, run_cfg, quantum=quantum,
                         validate=False, track_history=False)
@@ -82,13 +88,14 @@ def run_cell(workload: SyntheticTxnWorkload, variant: str,
              scale: float = 1.0, seed: int = 0,
              threads: Optional[int] = None,
              system: Optional[SystemConfig] = None,
-             htm_config: Optional[HTMConfig] = None) -> Cell:
+             htm_config: Optional[HTMConfig] = None,
+             bus: Optional[EventBus] = None) -> Cell:
     """Generate the workload at ``scale`` and run it on ``variant``."""
     sys_cfg = system or SystemConfig()
     nthreads = threads if threads is not None else sys_cfg.num_cores
     trace = workload.generate(seed=seed, scale=scale, threads=nthreads)
     stats = run_trace(trace, variant, system=sys_cfg,
-                      htm_config=htm_config, seed=seed)
+                      htm_config=htm_config, seed=seed, bus=bus)
     return Cell(trace.name, variant, seed, stats)
 
 
@@ -200,6 +207,10 @@ class Table6Row:
     sw_avg_duration: float
     sw_release_cycles: float
     log_stall_pct: float
+    aborts: int = 0
+    #: Abort attribution (cause -> count) from RunStats.abort_causes:
+    #: "conflict", "cm_kill", "stall_limit", "capacity".
+    abort_causes: Dict[str, int] = field(default_factory=dict)
 
 
 def table6_row(workload: SyntheticTxnWorkload, scale: float = 0.02,
@@ -222,4 +233,6 @@ def table6_row(workload: SyntheticTxnWorkload, scale: float = 0.02,
         sw_avg_duration=stats.software.avg_duration,
         sw_release_cycles=stats.software.avg_release_cycles,
         log_stall_pct=100.0 * stats.log_stall_fraction,
+        aborts=stats.aborts,
+        abort_causes=dict(stats.abort_causes),
     )

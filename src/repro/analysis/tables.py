@@ -104,18 +104,34 @@ def format_table5(rows) -> str:
     )
 
 
+def _abort_cell(row) -> str:
+    """Abort column: total plus cause attribution when known.
+
+    E.g. ``14 (conflict 9, cm_kill 5)``; a row without cause data
+    (older pickles, zero aborts) renders as the bare total.
+    """
+    causes = getattr(row, "abort_causes", None) or {}
+    total = getattr(row, "aborts", 0)
+    detail = ", ".join(f"{cause} {count}"
+                       for cause, count in sorted(causes.items(),
+                                                  key=lambda kv: -kv[1])
+                       if count)
+    return f"{total} ({detail})" if detail else str(total)
+
+
 def format_table6(rows) -> str:
     """Table 6: TokenTM Specific Overheads."""
     return format_table(
         ["Benchmark", "% Fast Xacts", "Fast Avg RS", "Fast Avg WS",
          "Fast Avg Dur", "SW Avg RS", "SW Avg WS", "SW Avg Dur",
-         "SW Release (cyc)", "Log Stalls (%)"],
+         "SW Release (cyc)", "Log Stalls (%)", "Aborts (cause)"],
         [
             (r.benchmark, round(r.fast_pct, 1),
              round(r.fast_avg_read_set, 1), round(r.fast_avg_write_set, 1),
              round(r.fast_avg_duration), round(r.sw_avg_read_set, 1),
              round(r.sw_avg_write_set, 1), round(r.sw_avg_duration),
-             round(r.sw_release_cycles), round(r.log_stall_pct, 2))
+             round(r.sw_release_cycles), round(r.log_stall_pct, 2),
+             _abort_cell(r))
             for r in rows
         ],
         title="Table 6. TokenTM Specific Overheads",

@@ -2,7 +2,10 @@
 
 Commands map one-to-one onto the paper's experiments:
 
-* ``run``      — one workload on one HTM variant, stats as text/JSON;
+* ``run``      — one workload on one HTM variant, stats as text/JSON
+  (``--trace``/``--trace-out``/``--chrome-out`` record the run);
+* ``trace``    — traced run with the conflict/abort attribution
+  report, or ``--validate`` for an existing JSONL trace;
 * ``table1``   — the long-critical-section analysis;
 * ``table5``   — workload parameters measured from the generators;
 * ``table6``   — TokenTM-specific overheads;
@@ -38,6 +41,9 @@ from repro.analysis.tables import (
     format_table6,
 )
 from repro.htm import VARIANTS
+from repro.obs.events import EventBus, validate_jsonl
+from repro.obs.report import TraceReport
+from repro.obs.sinks import ChromeTraceExporter, JsonlSink
 from repro.workloads import lock_applications, tm_workloads
 
 #: Default per-workload scales (fractions of Table 5 counts) chosen
@@ -65,10 +71,52 @@ def cmd_variants(_args) -> int:
     return 0
 
 
+def _make_bus(args):
+    """Build an enabled bus + sinks from trace-related CLI flags.
+
+    Returns ``(bus, jsonl_sink, chrome_exporter)`` — all ``None`` when
+    no tracing was requested, so untraced runs take the null-bus path.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    chrome_out = getattr(args, "chrome_out", None)
+    want = getattr(args, "trace", False) or trace_out or chrome_out
+    if not want:
+        return None, None, None
+    bus = EventBus()
+    jsonl = chrome = None
+    if trace_out:
+        jsonl = JsonlSink(trace_out)
+        bus.attach(jsonl)
+    if chrome_out:
+        chrome = ChromeTraceExporter()
+        bus.attach(chrome)
+    return bus, jsonl, chrome
+
+
+def _finish_trace(bus, jsonl, chrome, args) -> None:
+    """Flush CLI trace sinks and report where the artifacts went."""
+    if chrome is not None:
+        count = chrome.export(args.chrome_out)
+        print(f"chrome trace: {args.chrome_out} ({count} trace events)",
+              file=sys.stderr)
+    bus.close()
+    if jsonl is not None:
+        print(f"jsonl trace: {args.trace_out} ({jsonl.written} events)",
+              file=sys.stderr)
+
+
 def cmd_run(args) -> int:
     workload = _workload(args.workload)
     scale = args.scale or DEFAULT_SCALES[args.workload]
-    cell = run_cell(workload, args.variant, scale=scale, seed=args.seed)
+    bus, jsonl, chrome = _make_bus(args)
+    report = None
+    if bus is not None and args.trace:
+        report = TraceReport()
+        bus.attach(report)
+    cell = run_cell(workload, args.variant, scale=scale, seed=args.seed,
+                    bus=bus)
+    if bus is not None:
+        _finish_trace(bus, jsonl, chrome, args)
     snapshot = cell.stats.snapshot()
     snapshot["scale"] = scale
     if args.json:
@@ -83,6 +131,39 @@ def cmd_run(args) -> int:
             sorted((k, v) for k, v in machine.items()
                    if not k.startswith("_")),
         ))
+    if report is not None:
+        print()
+        print(report.format_summary())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.validate:
+        with open(args.validate, "r", encoding="utf-8") as fh:
+            count, errors = validate_jsonl(fh)
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"{args.validate}: {count} valid events, "
+              f"{len(errors)} errors")
+        return 1 if errors else 0
+    if not args.workload:
+        raise SystemExit("trace: workload required (or use --validate)")
+    workload = _workload(args.workload)
+    scale = args.scale or DEFAULT_SCALES[args.workload]
+    bus = EventBus()
+    report = TraceReport()
+    bus.attach(report)
+    jsonl = chrome = None
+    if args.trace_out:
+        jsonl = JsonlSink(args.trace_out)
+        bus.attach(jsonl)
+    if args.chrome_out:
+        chrome = ChromeTraceExporter()
+        bus.attach(chrome)
+    run_cell(workload, args.variant, scale=scale, seed=args.seed,
+             bus=bus)
+    _finish_trace(bus, jsonl, chrome, args)
+    print(report.format_summary() if args.summary else report.format())
     return 0
 
 
@@ -161,7 +242,33 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scale", type=float, default=None)
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--json", action="store_true")
+    run_p.add_argument("--trace", action="store_true",
+                       help="record events; print the trace summary")
+    run_p.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the event stream as JSONL")
+    run_p.add_argument("--chrome-out", metavar="FILE", default=None,
+                       help="write a Chrome trace_event JSON "
+                            "(load in Perfetto / chrome://tracing)")
     run_p.set_defaults(func=cmd_run)
+
+    trace_p = sub.add_parser(
+        "trace", help="traced run with conflict/abort attribution")
+    trace_p.add_argument("workload", nargs="?", default=None,
+                         help="Table 5 workload name")
+    trace_p.add_argument("variant", nargs="?", default="TokenTM",
+                         choices=VARIANTS)
+    trace_p.add_argument("--scale", type=float, default=None)
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument("--summary", action="store_true",
+                         help="print only the compact summary table")
+    trace_p.add_argument("--trace-out", metavar="FILE", default=None,
+                         help="also write the event stream as JSONL")
+    trace_p.add_argument("--chrome-out", metavar="FILE", default=None,
+                         help="also write a Chrome trace_event JSON")
+    trace_p.add_argument("--validate", metavar="FILE", default=None,
+                         help="validate an existing JSONL trace "
+                              "against the event schema and exit")
+    trace_p.set_defaults(func=cmd_trace)
 
     for name, func, needs_scale in (
         ("table1", cmd_table1, False),

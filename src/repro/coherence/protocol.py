@@ -28,6 +28,7 @@ from repro.common.errors import CoherenceError
 from repro.coherence.cache import CacheLine, L1Cache, MESI
 from repro.coherence.directory import Directory, DirState
 from repro.interconnect.topology import TiledTopology
+from repro.obs.events import NULL_BUS, EventBus, EventKind
 
 #: Pseudo-holder id for the memory/L2 home copy in listener callbacks.
 MEMORY_HOLDER = -1
@@ -110,10 +111,15 @@ class MemorySystem:
     """Functional MESI CMP memory system with latency accounting."""
 
     def __init__(self, config: SystemConfig,
-                 listener: Optional[CoherenceListener] = None):
+                 listener: Optional[CoherenceListener] = None,
+                 bus: Optional[EventBus] = None):
         self._config = config
         self._topology = TiledTopology(config)
         self._listener = listener or CoherenceListener()
+        #: Observability bus shared by the whole machine stack: the
+        #: HTM and executor layers pick it up from here, so enabling
+        #: tracing is a single constructor argument.
+        self.bus = bus if bus is not None else NULL_BUS
         self._caches: List[L1Cache] = [
             L1Cache(config.l1, core) for core in range(config.num_cores)
         ]
@@ -345,6 +351,9 @@ class MemorySystem:
         self._directory.record_eviction(block, core)
         self._l2_present.add(block)
         self.stats.evictions += 1
+        if self.bus.enabled:
+            self.bus.emit(EventKind.CACHE_EVICT, core=core, block=block,
+                          state=line.state.name.lower())
         self._listener.on_evict(core, block, line)
 
     def _invalidate_others(self, core: int, block: int) -> Tuple[int, ...]:

@@ -115,6 +115,9 @@ class HTM(ABC):
     def __init__(self, mem: MemorySystem):
         self.mem = mem
         self.stats = HTMStats()
+        #: Observability bus, shared with the memory system (see
+        #: repro.obs): disabled by default, zero-cost when off.
+        self.bus = mem.bus
         # Per-thread logs live in freshly allocated (OS-zeroed)
         # virtual memory: their first touches hit the L2, not DRAM.
         mem.mark_zero_filled(

@@ -36,6 +36,7 @@ from repro.common.config import HTMConfig, SignatureConfig
 from repro.common.errors import TransactionError
 from repro.coherence.protocol import MemorySystem
 from repro.core.tmlog import TmLog
+from repro.obs.events import EventKind
 from repro.htm.base import (
     AccessOutcome,
     CommitOutcome,
@@ -161,6 +162,13 @@ class LogTMSE(HTM):
         self.stats.conflicts += 1
         if not any_real:
             self.stats.false_positive_conflicts += 1
+        if self.bus.enabled:
+            # The directory NACKed the request on a signature hit.
+            self.bus.emit(
+                EventKind.NACK, tid=tid, block=block,
+                conflict_kind="writer" if writer_hits else "readers",
+                false_positive=not any_real, write=is_write,
+            )
         if writer_hits:
             return ConflictInfo(block, ConflictKind.WRITER,
                                 hints=tuple(writer_hits + reader_hits),

@@ -29,6 +29,7 @@ from repro.common.errors import TransactionError
 from repro.coherence.cache import CacheLine
 from repro.coherence.protocol import CoherenceListener, MemorySystem
 from repro.core.tmlog import TmLog
+from repro.obs.events import EventKind
 from repro.htm.base import (
     AccessOutcome,
     CommitOutcome,
@@ -153,16 +154,27 @@ class OneTM(HTM, CoherenceListener):
                 readers.append(other_tid)
         if writer:
             self.stats.conflicts += 1
+            if self.bus.enabled:
+                self.bus.emit(EventKind.CONFLICT, tid=tid, block=block,
+                              conflict_kind="writer")
             return ConflictInfo(block, ConflictKind.WRITER,
                                 hints=tuple(writer), complete=True)
         if readers:
             self.stats.conflicts += 1
+            if self.bus.enabled:
+                self.bus.emit(EventKind.CONFLICT, tid=tid, block=block,
+                              conflict_kind="readers")
             return ConflictInfo(block, ConflictKind.READERS,
                                 hints=tuple(readers), complete=True)
         return None
 
-    def _serialization_stall(self, block: int) -> ConflictInfo:
+    def _serialization_stall(self, block: int,
+                             tid: Optional[int] = None) -> ConflictInfo:
         holder = self._overflow_holder
+        if self.bus.enabled:
+            self.bus.emit(EventKind.CONFLICT, tid=tid, block=block,
+                          conflict_kind="serialization",
+                          holder=holder)
         return ConflictInfo(
             block, ConflictKind.SERIALIZATION,
             hints=(holder,) if holder is not None else (), complete=True,
@@ -181,7 +193,7 @@ class OneTM(HTM, CoherenceListener):
         self.stats.txn_reads += 1
         if self._blocked_on_token(txn):
             return AccessOutcome(False, self.mem.config.latency.l1_hit,
-                                 self._serialization_stall(block))
+                                 self._serialization_stall(block, tid))
         conflict = self._check(tid, block, is_write=False)
         if conflict is not None:
             return AccessOutcome(
@@ -196,7 +208,7 @@ class OneTM(HTM, CoherenceListener):
         self.stats.txn_writes += 1
         if self._blocked_on_token(txn):
             return AccessOutcome(False, self.mem.config.latency.l1_hit,
-                                 self._serialization_stall(block))
+                                 self._serialization_stall(block, tid))
         conflict = self._check(tid, block, is_write=True)
         if conflict is not None:
             return AccessOutcome(

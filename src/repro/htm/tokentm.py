@@ -61,6 +61,7 @@ from repro.core.metastate import (
 )
 from repro.core.tmlog import TmLog
 from repro.mem.metabit_store import MetabitStore
+from repro.obs.events import EventKind
 from repro.htm.base import (
     AccessOutcome,
     CommitOutcome,
@@ -193,6 +194,9 @@ class TokenTM(HTM, CoherenceListener):
     def on_fill(self, core: int, block: int, line: CacheLine,
                 shared: bool, source: int) -> None:
         if shared:
+            if self.bus.enabled:
+                self.bus.emit(EventKind.FISSION, core=core, block=block,
+                              source=source)
             if source == MEMORY_HOLDER:
                 home = self._store.load(block)
                 retained, new_copy = fission(home, self._tpb)
@@ -222,6 +226,10 @@ class TokenTM(HTM, CoherenceListener):
                       requester: int) -> None:
         meta = self._meta_of(line, core)
         if meta.total:
+            if self.bus.enabled:
+                self.bus.emit(EventKind.FUSION, core=core, block=block,
+                              requester=requester, tokens=meta.total,
+                              via="invalidate")
             key = (requester, block)
             prior = self._pending.get(key, META_ZERO)
             self._pending[key] = fuse(prior, meta, self._tpb)
@@ -249,6 +257,9 @@ class TokenTM(HTM, CoherenceListener):
     def on_evict(self, core: int, block: int, line: CacheLine) -> None:
         meta = self._meta_of(line, core)
         if meta.total:
+            if self.bus.enabled:
+                self.bus.emit(EventKind.FUSION, core=core, block=block,
+                              tokens=meta.total, via="evict")
             home = self._store.load(block)
             self._store.store(block, fuse(home, meta, self._tpb))
         mb = line.meta
@@ -306,6 +317,10 @@ class TokenTM(HTM, CoherenceListener):
         verdict = acquire_read(meta, tid, self._tpb)
         if not verdict.granted:
             self.stats.conflicts += 1
+            if self.bus.enabled:
+                self.bus.emit(EventKind.CONFLICT, tid=tid, core=core,
+                              block=block, conflict_kind="writer",
+                              access="read")
             info = ConflictInfo(
                 block, ConflictKind.WRITER,
                 hints=(verdict.owner_hint,) if verdict.owner_hint is not None
@@ -318,6 +333,9 @@ class TokenTM(HTM, CoherenceListener):
                 line.meta = mb
             mb.set_read(tid)
             self._units[core].mark(block)
+            if self.bus.enabled:
+                self.bus.emit(EventKind.TOKEN_ACQUIRE, tid=tid, core=core,
+                              block=block, tokens=1, write=False)
             latency += self._log_append(core, tid, block, 1, False)
         txn.read_set.add(block)
         return AccessOutcome(True, latency)
@@ -348,6 +366,10 @@ class TokenTM(HTM, CoherenceListener):
         if verdict.acquired:
             self._write_meta(line, verdict.meta, core)
             self._units[core].mark(block)
+            if self.bus.enabled:
+                self.bus.emit(EventKind.TOKEN_ACQUIRE, tid=tid, core=core,
+                              block=block, tokens=verdict.acquired,
+                              write=True)
             latency += self._log_append(
                 core, tid, block, verdict.acquired, True
             )
@@ -369,6 +391,13 @@ class TokenTM(HTM, CoherenceListener):
         again (the upgrade's log append may have evicted it).
         """
         self.stats.conflicts += 1
+        if self.bus.enabled:
+            self.bus.emit(
+                EventKind.CONFLICT, tid=tid, core=core, block=block,
+                conflict_kind=("writer" if meta.total == self._tpb
+                               else "readers"),
+                access="write",
+            )
         if meta.total == self._tpb:
             info = ConflictInfo(
                 block, ConflictKind.WRITER,
@@ -423,6 +452,10 @@ class TokenTM(HTM, CoherenceListener):
         remaining = self._tpb - meta.total
         self._write_meta(line, Meta(self._tpb, tid), core)
         self._units[core].mark(block)
+        if self.bus.enabled:
+            self.bus.emit(EventKind.TOKEN_ACQUIRE, tid=tid, core=core,
+                          block=block, tokens=remaining, write=True,
+                          self_upgrade=True)
         return self._log_append(core, tid, block, remaining, True)
 
     def _readers_from_logs(self, block: int, exclude: int) -> List[int]:
@@ -445,6 +478,7 @@ class TokenTM(HTM, CoherenceListener):
         unit = self._units[core]
         log = self._logs[tid]
         if unit.eligible:
+            cleared = 0
             for block in unit.take_fast_release():
                 line = self.mem.cache(core).lookup(block)
                 if line is None or line.meta is None:  # pragma: no cover
@@ -454,6 +488,10 @@ class TokenTM(HTM, CoherenceListener):
                 line.meta.flash_clear()
                 if line.meta.is_clear():
                     line.meta = None
+                cleared += 1
+            if self.bus.enabled:
+                self.bus.emit(EventKind.FLASH_CLEAR, tid=tid, core=core,
+                              lines=cleared)
             log.reset()
             self._finish(core, tid)
             self.stats.fast_releases += 1
@@ -513,7 +551,11 @@ class TokenTM(HTM, CoherenceListener):
         """
         lat = self.mem.config.latency
         cycles = len(log.records) * lat.token_release
+        bus = self.bus
         for block, count in log.token_credits().items():
+            if bus.enabled:
+                bus.emit(EventKind.TOKEN_RELEASE, tid=tid, core=core,
+                         block=block, tokens=count)
             line = self.mem.cache(core).lookup(block)
             meta = self._meta_of(line, core) if line is not None else META_ZERO
             # Tokens are fungible (see core.metastate.release): any
@@ -551,6 +593,10 @@ class TokenTM(HTM, CoherenceListener):
         meta = self._meta_of(line, core)
         if meta.total == self._tpb:
             self.stats.conflicts += 1
+            if self.bus.enabled:
+                self.bus.emit(EventKind.CONFLICT, tid=tid, core=core,
+                              block=block, conflict_kind="writer",
+                              access="nontxn_read")
             info = ConflictInfo(
                 block, ConflictKind.WRITER,
                 hints=(meta.tid,) if meta.tid is not None else (),
@@ -568,6 +614,10 @@ class TokenTM(HTM, CoherenceListener):
             self.stats.conflicts += 1
             kind = (ConflictKind.WRITER if meta.total == self._tpb
                     else ConflictKind.READERS)
+            if self.bus.enabled:
+                self.bus.emit(EventKind.CONFLICT, tid=tid, core=core,
+                              block=block, conflict_kind=kind.value,
+                              access="nontxn_write")
             hints: List[int] = []
             if meta.tid is not None:
                 hints.append(meta.tid)
@@ -595,9 +645,14 @@ class TokenTM(HTM, CoherenceListener):
         Constant-time in hardware; returns the modelled cycle cost.
         """
         self._units[core].context_switch()
+        flashed = 0
         for line in self.mem.cache(core).lines():
             if line.meta is not None and (line.meta.r or line.meta.w):
                 line.meta.context_switch()
+                flashed += 1
+        if self.bus.enabled:
+            self.bus.emit(EventKind.FLASH_OR, core=core,
+                          tid=self._core_tid[core], lines=flashed)
         self._core_tid[core] = None
         return self.mem.config.latency.fast_release
 

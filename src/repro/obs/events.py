@@ -1,0 +1,259 @@
+"""Structured event bus: typed, cycle-stamped simulator events.
+
+Every event carries a global monotonic sequence number (total order
+of publication) and a *simulated-cycle* timestamp — never wall-clock
+time, so traces are deterministic and replayable.  Producers stamp
+events with the clock of the thread being simulated where they know
+it (the executor) or fall back to :attr:`EventBus.now`, which the
+executor advances before driving the machine (HTM/coherence layers
+run "inside" an access and have no clock of their own).
+
+Zero-cost-when-off contract: the only instrumentation work a
+disabled bus performs is one attribute load and branch per
+*potential* emission site (``if bus.enabled:``).  :data:`NULL_BUS`
+is the canonical disabled bus every component defaults to; it
+refuses sinks so it can never be accidentally enabled globally.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class EventKind(Enum):
+    """Event taxonomy (see docs/observability.md for field details)."""
+
+    # -- transaction lifecycle (runtime/executor.py)
+    TXN_BEGIN = "txn_begin"
+    TXN_COMMIT = "txn_commit"
+    TXN_ABORT = "txn_abort"
+    TXN_STALL = "txn_stall"
+    # -- contention manager (runtime/contention.py)
+    CM_DECISION = "cm_decision"
+    # -- token machinery (htm/tokentm.py)
+    TOKEN_ACQUIRE = "token_acquire"
+    TOKEN_RELEASE = "token_release"
+    FLASH_CLEAR = "flash_clear"
+    FLASH_OR = "flash_or"
+    FISSION = "fission"
+    FUSION = "fusion"
+    # -- conflict detection (all HTM variants)
+    CONFLICT = "conflict"
+    NACK = "nack"
+    # -- memory system (coherence/protocol.py)
+    CACHE_EVICT = "cache_evict"
+    # -- system support (syssupport/)
+    CTX_SWITCH = "ctx_switch"
+    PAGE_OUT = "page_out"
+    PAGE_IN = "page_in"
+
+
+#: String values accepted in serialized traces.
+KINDS = frozenset(kind.value for kind in EventKind)
+
+
+class AbortCause(Enum):
+    """Why a transaction aborted (RunStats abort-cause breakdown)."""
+
+    #: Data conflict lost on timestamps: the requester self-aborted.
+    CONFLICT = "conflict"
+    #: Doomed by a winning (older) requester — contention-manager kill.
+    CM_KILL = "cm_kill"
+    #: Gave up after exceeding the stall-retry budget.
+    STALL_LIMIT = "stall_limit"
+    #: Resource exhaustion (reserved: no current variant aborts on
+    #: capacity — TokenTM is unbounded, OneTM serializes instead).
+    CAPACITY = "capacity"
+
+
+#: Ordered cause keys, for stable report/table rendering.
+ABORT_CAUSES = tuple(c.value for c in AbortCause)
+
+
+@dataclass(slots=True)
+class Event:
+    """One published event.
+
+    ``attrs`` holds kind-specific payload (JSON scalars or flat lists
+    of scalars only, so every event serializes losslessly to JSONL).
+    """
+
+    seq: int
+    cycle: int
+    kind: EventKind
+    tid: Optional[int] = None
+    core: Optional[int] = None
+    block: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-ready dict; ``None`` ids are omitted."""
+        out: Dict[str, Any] = {
+            "seq": self.seq, "cycle": self.cycle, "kind": self.kind.value,
+        }
+        if self.tid is not None:
+            out["tid"] = self.tid
+        if self.core is not None:
+            out["core"] = self.core
+        if self.block is not None:
+            out["block"] = self.block
+        out.update(self.attrs)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"),
+                          sort_keys=True)
+
+
+class EventBus:
+    """Publisher fan-out to attached sinks.
+
+    The bus assigns sequence numbers (strictly increasing across the
+    run) and default cycle stamps (:attr:`now`, maintained by the
+    executor).  ``enabled`` is the single hot-path guard: producers
+    must check it before building event payloads.
+    """
+
+    __slots__ = ("enabled", "now", "_seq", "_sinks")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        #: Default timestamp for emissions that pass no cycle; the
+        #: executor sets it to the running thread's clock.
+        self.now = 0
+        self._seq = 0
+        self._sinks: List[Any] = []
+
+    @property
+    def sinks(self) -> Tuple[Any, ...]:
+        return tuple(self._sinks)
+
+    def attach(self, sink) -> None:
+        """Add a sink (anything with ``accept(event)``)."""
+        self._sinks.append(sink)
+
+    def detach(self, sink) -> None:
+        self._sinks.remove(sink)
+
+    def emit(self, kind: EventKind, cycle: Optional[int] = None,
+             tid: Optional[int] = None, core: Optional[int] = None,
+             block: Optional[int] = None, **attrs) -> Optional[Event]:
+        """Publish one event; no-op (returns None) when disabled."""
+        if not self.enabled:
+            return None
+        self._seq += 1
+        event = Event(self._seq, self.now if cycle is None else cycle,
+                      kind, tid, core, block, attrs)
+        for sink in self._sinks:
+            sink.accept(event)
+        return event
+
+    def close(self) -> None:
+        """Close every sink that supports it."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+class _NullBus(EventBus):
+    """The shared disabled bus: refuses sinks, never enables."""
+
+    def __init__(self):
+        super().__init__(enabled=False)
+
+    def attach(self, sink) -> None:  # pragma: no cover - misuse guard
+        raise SimulationError(
+            "NULL_BUS is the shared disabled bus; create an EventBus() "
+            "and pass it to the component instead of attaching sinks here"
+        )
+
+
+#: Default bus for every instrumented component: permanently off.
+NULL_BUS = _NullBus()
+
+
+# ----------------------------------------------------------------------
+# Trace schema
+# ----------------------------------------------------------------------
+
+#: JSONL event schema: required fields and their validators.
+EVENT_SCHEMA: Dict[str, Any] = {
+    "required": {
+        "seq": "non-negative int",
+        "cycle": "non-negative int",
+        "kind": f"one of {len(KINDS)} event kinds",
+    },
+    "optional_ids": ("tid", "core", "block"),
+}
+
+
+def _is_scalar(value: Any) -> bool:
+    return value is None or isinstance(value, (bool, int, float, str))
+
+
+def validate_event(obj: Any) -> List[str]:
+    """Validate one decoded JSONL event; returns error strings."""
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"event must be a JSON object, got {type(obj).__name__}"]
+    for key in ("seq", "cycle"):
+        value = obj.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"{key!r} must be a non-negative integer, "
+                          f"got {value!r}")
+    kind = obj.get("kind")
+    if kind not in KINDS:
+        errors.append(f"unknown event kind {kind!r}")
+    for key in EVENT_SCHEMA["optional_ids"]:
+        if key in obj and (not isinstance(obj[key], int)
+                           or isinstance(obj[key], bool)):
+            errors.append(f"{key!r} must be an integer, got {obj[key]!r}")
+    for key, value in obj.items():
+        if key in ("seq", "cycle", "kind") or key in EVENT_SCHEMA[
+                "optional_ids"]:
+            continue
+        if _is_scalar(value):
+            continue
+        if isinstance(value, list) and all(_is_scalar(v) for v in value):
+            continue
+        errors.append(f"attribute {key!r} must be a JSON scalar or a "
+                      f"flat list of scalars, got {value!r}")
+    return errors
+
+
+def validate_jsonl(lines: Iterable[str]) -> Tuple[int, List[str]]:
+    """Validate a JSONL trace; returns (valid event count, errors).
+
+    Also checks the cross-event invariant that sequence numbers are
+    strictly increasing (the bus's publication order).
+    """
+    errors: List[str] = []
+    count = 0
+    last_seq = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        line_errors = validate_event(obj)
+        if line_errors:
+            errors.extend(f"line {lineno}: {e}" for e in line_errors)
+            continue
+        if obj["seq"] <= last_seq:
+            errors.append(f"line {lineno}: seq {obj['seq']} not "
+                          f"strictly increasing (previous {last_seq})")
+            last_seq = obj["seq"]
+            continue
+        last_seq = obj["seq"]
+        count += 1
+    return count, errors

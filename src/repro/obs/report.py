@@ -1,0 +1,254 @@
+"""Conflict/abort attribution report built from the event stream.
+
+Answers the questions the end-of-run aggregates cannot: *which
+blocks* the conflicts concentrate on, *why* transactions aborted,
+and where transactions fall off the fast-release path (the funnel
+behind Table 6's fast-release fraction, e.g. Delaunay's ~72%).
+
+:class:`TraceReport` is itself a sink — attach it to a live bus or
+feed it a recorded event list with :meth:`TraceReport.from_events`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.events import ABORT_CAUSES, Event, EventKind
+from repro.obs.metrics import (
+    CYCLE_EDGES,
+    SET_SIZE_EDGES,
+    MetricsRegistry,
+)
+
+#: Blocks shown in the conflict heatmap.
+HEATMAP_TOP_N = 10
+
+
+def _format_table(headers, rows, title=None):
+    # Imported lazily: analysis pulls in the whole simulator stack,
+    # which itself imports repro.obs (the bus) at module load.
+    from repro.analysis.tables import format_table
+    return format_table(headers, rows, title=title)
+
+
+class TraceReport:
+    """Streaming aggregator over observability events."""
+
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        self.events = 0
+        self.begins = 0
+        self.commits = 0
+        self.fast_commits = 0
+        self.sw_commits = 0
+        self.aborts = 0
+        self.abort_causes: Dict[str, int] = {}
+        self.stalls = 0
+        self.stall_cycles = 0
+        self.conflicts = 0
+        self.conflicts_by_block: Dict[int, int] = {}
+        self.conflict_kinds: Dict[str, int] = {}
+        self.nacks = 0
+        self.false_positive_nacks = 0
+        self.token_acquires = 0
+        self.token_releases = 0
+        self.flash_clears = 0
+        self.flash_ors = 0
+        self.fissions = 0
+        self.fusions = 0
+        self.evictions = 0
+        self.ctx_switches = 0
+        self.page_outs = 0
+        self.page_ins = 0
+        #: Drop count copied from a ring buffer, when known.
+        self.dropped = 0
+        self._durations = self.registry.histogram(
+            "txn.duration_cycles", CYCLE_EDGES)
+        self._read_sets = self.registry.histogram(
+            "txn.read_set_blocks", SET_SIZE_EDGES)
+        self._write_sets = self.registry.histogram(
+            "txn.write_set_blocks", SET_SIZE_EDGES)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event],
+                    dropped: int = 0) -> "TraceReport":
+        report = cls()
+        report.dropped = dropped
+        for event in events:
+            report.accept(event)
+        return report
+
+    def accept(self, event: Event) -> None:
+        self.events += 1
+        kind = event.kind
+        if kind is EventKind.TXN_BEGIN:
+            self.begins += 1
+        elif kind is EventKind.TXN_COMMIT:
+            self.commits += 1
+            if event.attrs.get("fast"):
+                self.fast_commits += 1
+            else:
+                self.sw_commits += 1
+            duration = event.attrs.get("duration")
+            if duration is not None:
+                self._durations.observe(duration)
+            read_set = event.attrs.get("read_set")
+            if read_set is not None:
+                self._read_sets.observe(read_set)
+            write_set = event.attrs.get("write_set")
+            if write_set is not None:
+                self._write_sets.observe(write_set)
+        elif kind is EventKind.TXN_ABORT:
+            self.aborts += 1
+            cause = event.attrs.get("cause", "unknown")
+            self.abort_causes[cause] = self.abort_causes.get(cause, 0) + 1
+        elif kind is EventKind.TXN_STALL:
+            self.stalls += 1
+            self.stall_cycles += event.attrs.get("delay", 0)
+        elif kind in (EventKind.CONFLICT, EventKind.NACK):
+            self.conflicts += 1
+            if kind is EventKind.NACK:
+                self.nacks += 1
+                if event.attrs.get("false_positive"):
+                    self.false_positive_nacks += 1
+            if event.block is not None:
+                self.conflicts_by_block[event.block] = \
+                    self.conflicts_by_block.get(event.block, 0) + 1
+            ckind = event.attrs.get("conflict_kind", "unknown")
+            self.conflict_kinds[ckind] = self.conflict_kinds.get(ckind, 0) + 1
+        elif kind is EventKind.TOKEN_ACQUIRE:
+            self.token_acquires += 1
+        elif kind is EventKind.TOKEN_RELEASE:
+            self.token_releases += 1
+        elif kind is EventKind.FLASH_CLEAR:
+            self.flash_clears += 1
+        elif kind is EventKind.FLASH_OR:
+            self.flash_ors += 1
+        elif kind is EventKind.FISSION:
+            self.fissions += 1
+        elif kind is EventKind.FUSION:
+            self.fusions += 1
+        elif kind is EventKind.CACHE_EVICT:
+            self.evictions += 1
+        elif kind is EventKind.CTX_SWITCH:
+            self.ctx_switches += 1
+        elif kind is EventKind.PAGE_OUT:
+            self.page_outs += 1
+        elif kind is EventKind.PAGE_IN:
+            self.page_ins += 1
+
+    # ------------------------------------------------------------------
+    # Formatting
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pct(part: int, whole: int) -> str:
+        return f"{100.0 * part / whole:.1f}%" if whole else "n/a"
+
+    def _funnel_rows(self) -> List[Tuple[str, int, str]]:
+        attempts = self.begins
+        return [
+            ("transaction attempts", attempts, self._pct(attempts, attempts)),
+            ("committed", self.commits, self._pct(self.commits, attempts)),
+            ("  fast release", self.fast_commits,
+             self._pct(self.fast_commits, attempts)),
+            ("  software release", self.sw_commits,
+             self._pct(self.sw_commits, attempts)),
+            ("aborted", self.aborts, self._pct(self.aborts, attempts)),
+        ]
+
+    def format_funnel(self) -> str:
+        return _format_table(
+            ["stage", "count", "% of attempts"], self._funnel_rows(),
+            title="Fast-release funnel",
+        )
+
+    def format_abort_breakdown(self) -> str:
+        rows = []
+        for cause in ABORT_CAUSES:
+            count = self.abort_causes.get(cause, 0)
+            rows.append((cause, count, self._pct(count, self.aborts)))
+        for cause in sorted(self.abort_causes):
+            if cause not in ABORT_CAUSES:
+                rows.append((cause, self.abort_causes[cause],
+                             self._pct(self.abort_causes[cause],
+                                       self.aborts)))
+        return _format_table(
+            ["abort cause", "count", "% of aborts"], rows,
+            title=f"Abort attribution ({self.aborts} aborts)",
+        )
+
+    def format_heatmap(self, top_n: int = HEATMAP_TOP_N,
+                       width: int = 30) -> str:
+        """Per-block conflict heatmap: the hottest contended blocks."""
+        ranked = sorted(self.conflicts_by_block.items(),
+                        key=lambda kv: (-kv[1], kv[0]))[:top_n]
+        out = [f"Per-block conflict heatmap (top {top_n} of "
+               f"{len(self.conflicts_by_block)} blocks, "
+               f"{self.conflicts} conflicts)"]
+        if not ranked:
+            out.append("  (no conflicts recorded)")
+            return "\n".join(out)
+        peak = ranked[0][1]
+        for block, count in ranked:
+            bar = "#" * max(1, round(width * count / peak))
+            out.append(f"  {block:#010x} |{bar.ljust(width)}| {count}")
+        return "\n".join(out)
+
+    def _summary_rows(self) -> List[Tuple[str, object]]:
+        rows: List[Tuple[str, object]] = [
+            ("events", self.events),
+            ("txn attempts", self.begins),
+            ("commits", self.commits),
+            ("  fast-release", self.fast_commits),
+            ("  software-release", self.sw_commits),
+            ("aborts", self.aborts),
+        ]
+        for cause in ABORT_CAUSES:
+            rows.append((f"  cause: {cause}", self.abort_causes.get(cause, 0)))
+        rows.extend([
+            ("stall events", self.stalls),
+            ("stall cycles", self.stall_cycles),
+            ("conflicts", self.conflicts),
+            ("nacks (false positive)",
+             f"{self.nacks} ({self.false_positive_nacks})"),
+            ("token acquires", self.token_acquires),
+            ("token releases", self.token_releases),
+            ("flash clears", self.flash_clears),
+            ("flash ORs", self.flash_ors),
+            ("fission / fusion", f"{self.fissions} / {self.fusions}"),
+            ("cache evictions", self.evictions),
+            ("context switches", self.ctx_switches),
+            ("page out / in", f"{self.page_outs} / {self.page_ins}"),
+            ("events dropped", self.dropped),
+        ])
+        return rows
+
+    def format_summary(self) -> str:
+        """Compact pinned summary (guarded by a golden test)."""
+        return _format_table(["trace summary", "value"],
+                            self._summary_rows())
+
+    def format(self) -> str:
+        """Full attribution report."""
+        sections = [
+            self.format_summary(),
+            self.format_funnel(),
+            self.format_abort_breakdown(),
+            self.format_heatmap(),
+        ]
+        dur = self._durations
+        if dur.total:
+            rows = []
+            labels = [f"<= {edge:,}" for edge in dur.edges] + [
+                f"> {dur.edges[-1]:,}"]
+            for label, count in zip(labels, dur.counts):
+                rows.append((label, count))
+            sections.append(_format_table(
+                ["duration (cycles)", "txns"], rows,
+                title=f"Committed-transaction durations "
+                      f"(mean {dur.mean:,.0f} cycles)",
+            ))
+        return "\n\n".join(sections)

@@ -1,0 +1,209 @@
+"""Event sinks: in-memory buffers, JSONL traces, Chrome trace export.
+
+A sink is anything with ``accept(event)``; ``close()`` is optional.
+Sinks never mutate events and never touch simulator state, so any
+combination can be attached to one bus.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Any, Dict, List, Union
+
+from repro.obs.events import Event, EventKind
+
+
+class ListSink:
+    """Unbounded in-memory sink (tests, report building)."""
+
+    def __init__(self):
+        self.events: List[Event] = []
+
+    def accept(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class RingBufferSink:
+    """Bounded in-memory sink keeping the most recent ``capacity``
+    events; older events are dropped and accounted for.
+
+    The drop count is the honesty mechanism: a report built from a
+    ring buffer can state exactly how much of the run it did not see.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"ring buffer capacity must be > 0, "
+                             f"got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._buffer: deque = deque()
+
+    def accept(self, event: Event) -> None:
+        if len(self._buffer) == self.capacity:
+            self._buffer.popleft()
+            self.dropped += 1
+        self._buffer.append(event)
+
+    @property
+    def events(self) -> List[Event]:
+        """Retained events, oldest first."""
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self):
+        return iter(self._buffer)
+
+
+class JsonlSink:
+    """Streams events to a JSONL file, one schema-valid object per line."""
+
+    def __init__(self, destination: Union[str, IO[str]]):
+        if isinstance(destination, str):
+            self._file: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = destination
+            self._owns_file = False
+        self.written = 0
+
+    def accept(self, event: Event) -> None:
+        self._file.write(event.to_json())
+        self._file.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._owns_file and not self._file.closed:
+            self._file.close()
+
+
+class ChromeTraceExporter:
+    """Builds a Chrome ``trace_event`` JSON from the event stream.
+
+    The export opens directly in ``chrome://tracing`` and Perfetto:
+    one named track per core, a complete ("ph": "X") span per
+    transaction attempt from TXN_BEGIN to TXN_COMMIT/TXN_ABORT, and
+    instant events for conflicts, NACKs, stalls, context switches,
+    and paging.  Timestamps are simulated cycles passed through as
+    microseconds (the viewer's unit) — absolute scale is meaningless,
+    relative spans are what the timeline shows.
+    """
+
+    #: Kinds rendered as instant markers on the core track.
+    INSTANT_KINDS = frozenset((
+        EventKind.CONFLICT, EventKind.NACK, EventKind.TXN_STALL,
+        EventKind.CTX_SWITCH, EventKind.PAGE_OUT, EventKind.PAGE_IN,
+        EventKind.FLASH_OR,
+    ))
+
+    def __init__(self):
+        #: tid -> open TXN_BEGIN event awaiting its commit/abort.
+        self._open: Dict[int, Event] = {}
+        self._trace_events: List[Dict[str, Any]] = []
+        self._cores: set = set()
+        self._max_cycle = 0
+
+    def accept(self, event: Event) -> None:
+        self._max_cycle = max(self._max_cycle, event.cycle)
+        if event.core is not None:
+            self._cores.add(event.core)
+        if event.kind is EventKind.TXN_BEGIN and event.tid is not None:
+            self._open[event.tid] = event
+            return
+        if event.kind in (EventKind.TXN_COMMIT, EventKind.TXN_ABORT):
+            begin = self._open.pop(event.tid, None)
+            if begin is not None:
+                self._emit_span(begin, event)
+            return
+        if event.kind in self.INSTANT_KINDS:
+            self._trace_events.append({
+                "name": event.kind.value,
+                "ph": "i",
+                "ts": event.cycle,
+                "pid": 0,
+                "tid": event.core if event.core is not None else 0,
+                "s": "t",
+                "cat": "event",
+                "args": self._args(event),
+            })
+
+    def _args(self, event: Event) -> Dict[str, Any]:
+        args: Dict[str, Any] = dict(event.attrs)
+        if event.tid is not None:
+            args["tid"] = event.tid
+        if event.block is not None:
+            args["block"] = event.block
+        return args
+
+    def _emit_span(self, begin: Event, end: Event) -> None:
+        committed = end.kind is EventKind.TXN_COMMIT
+        fast = bool(end.attrs.get("fast"))
+        if committed:
+            name = (f"txn {begin.tid} commit"
+                    + (" (fast)" if fast else " (sw)"))
+        else:
+            cause = end.attrs.get("cause", "?")
+            name = f"txn {begin.tid} abort [{cause}]"
+        self._trace_events.append({
+            "name": name,
+            "ph": "X",
+            "ts": begin.cycle,
+            "dur": max(0, end.cycle - begin.cycle),
+            "pid": 0,
+            "tid": begin.core if begin.core is not None else 0,
+            "cat": "commit" if committed else "abort",
+            "args": {"txn_tid": begin.tid, **end.attrs},
+        })
+
+    def trace(self) -> Dict[str, Any]:
+        """The complete trace document (JSON-serializable)."""
+        events: List[Dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "pid": 0,
+            "args": {"name": "repro simulator"},
+        }]
+        for core in sorted(self._cores):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": core,
+                "args": {"name": f"Core {core}"},
+            })
+            events.append({
+                "name": "thread_sort_index", "ph": "M", "pid": 0,
+                "tid": core, "args": {"sort_index": core},
+            })
+        events.extend(self._trace_events)
+        # Transactions still open at export: draw them to the end of
+        # the observed run so they are visible rather than lost.
+        for begin in self._open.values():
+            events.append({
+                "name": f"txn {begin.tid} (open)",
+                "ph": "X",
+                "ts": begin.cycle,
+                "dur": max(0, self._max_cycle - begin.cycle),
+                "pid": 0,
+                "tid": begin.core if begin.core is not None else 0,
+                "cat": "open",
+                "args": {"txn_tid": begin.tid},
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export(self, destination: Union[str, IO[str]]) -> int:
+        """Write the trace JSON; returns the trace-event count."""
+        doc = self.trace()
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+        else:
+            json.dump(doc, destination)
+        return len(doc["traceEvents"])
+
+    def close(self) -> None:
+        """Sinks may be closed by the bus; export is explicit."""

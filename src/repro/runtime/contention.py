@@ -27,6 +27,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.common.config import HTMConfig
 from repro.htm.base import ConflictInfo, ConflictKind
+from repro.obs.events import NULL_BUS, EventBus, EventKind
 
 
 class Resolution(Enum):
@@ -57,9 +58,11 @@ class ContentionPolicy:
     alternatives for the policy ablation.
     """
 
-    def __init__(self, config: HTMConfig, seed: int = 0):
+    def __init__(self, config: HTMConfig, seed: int = 0,
+                 bus: Optional[EventBus] = None):
         self._config = config
         self._rng = random.Random(seed ^ 0x7E57)
+        self._bus = bus if bus is not None else NULL_BUS
         #: First-begin stamp per live transaction, (sequence, tid)
         #: so ties break deterministically by TID.
         self._stamps: Dict[int, Tuple[int, int]] = {}
@@ -89,6 +92,19 @@ class ContentionPolicy:
         return [t for t in info.hints if t in live and t != requester_tid]
 
     def resolve(self, requester_tid: Optional[int],
+                info: ConflictInfo,
+                live_tids: Sequence[int]) -> Decision:
+        """Decide one conflict and publish the decision as an event."""
+        decision = self._decide(requester_tid, info, live_tids)
+        bus = self._bus
+        if bus.enabled:
+            bus.emit(EventKind.CM_DECISION, tid=requester_tid,
+                     block=info.block, conflict_kind=info.kind.value,
+                     resolution=decision.resolution.value,
+                     victims=list(decision.victims))
+        return decision
+
+    def _decide(self, requester_tid: Optional[int],
                 info: ConflictInfo,
                 live_tids: Sequence[int]) -> Decision:
         raise NotImplementedError
@@ -126,7 +142,7 @@ class ContentionPolicy:
 class TimestampManager(ContentionPolicy):
     """Oldest-wins timestamp contention manager (the paper's policy)."""
 
-    def resolve(self, requester_tid: Optional[int],
+    def _decide(self, requester_tid: Optional[int],
                 info: ConflictInfo,
                 live_tids: Sequence[int]) -> Decision:
         """Decide the outcome of one detected conflict.
@@ -160,7 +176,7 @@ class RequesterLosesPolicy(ContentionPolicy):
     starving writers behind long readers.
     """
 
-    def resolve(self, requester_tid: Optional[int],
+    def _decide(self, requester_tid: Optional[int],
                 info: ConflictInfo,
                 live_tids: Sequence[int]) -> Decision:
         if info.kind is ConflictKind.SERIALIZATION:
@@ -182,7 +198,7 @@ class RequesterWinsPolicy(ContentionPolicy):
     other); the randomized restart back-off is the only brake.
     """
 
-    def resolve(self, requester_tid: Optional[int],
+    def _decide(self, requester_tid: Optional[int],
                 info: ConflictInfo,
                 live_tids: Sequence[int]) -> Decision:
         if info.kind is ConflictKind.SERIALIZATION:

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.common.config import RunConfig
 from repro.common.errors import SimulationError
 from repro.htm.base import HTM, ConflictKind
+from repro.obs.events import AbortCause, EventBus, EventKind
 from repro.runtime.contention import Resolution, TimestampManager
 from repro.runtime.history import HistoryValidator
 from repro.runtime.stats import RunStats
@@ -96,7 +97,8 @@ class Executor:
                  track_history: bool = True,
                  preemptive: Optional[bool] = None,
                  timeslice: int = 50_000,
-                 policy: Optional[TimestampManager] = None):
+                 policy: Optional[TimestampManager] = None,
+                 bus: Optional[EventBus] = None):
         if validate:
             validate_trace(trace)
         ncores = htm.mem.config.num_cores
@@ -113,8 +115,11 @@ class Executor:
         self._trace = trace
         self._config = config
         self._quantum = quantum
+        #: Event bus: explicit argument, else whatever the machine's
+        #: memory system carries (NULL_BUS unless tracing was set up).
+        self._bus = bus if bus is not None else htm.bus
         self._manager = policy if policy is not None else \
-            TimestampManager(config.htm, seed=config.seed)
+            TimestampManager(config.htm, seed=config.seed, bus=self._bus)
         self._threads = [
             _Thread(t.thread_id, core % ncores, t.ops)
             for core, t in enumerate(trace.threads)
@@ -193,12 +198,19 @@ class Executor:
                 core = best
             start = max(thread.clock, core_free[core])
             if core_thread[core] != thread.tid:
-                if core_thread[core] is not None:
+                previous = core_thread[core]
+                if previous is not None:
+                    if self._bus.enabled:
+                        self._bus.now = start
                     start += self._htm.context_switch(core)
                 start += lat.os_switch
                 self._htm.schedule(core, thread.tid)
                 core_thread[core] = thread.tid
                 self._stats.preemptions += 1
+                if self._bus.enabled:
+                    self._bus.emit(EventKind.CTX_SWITCH, cycle=start,
+                                   tid=thread.tid, core=core,
+                                   previous_tid=previous)
             thread.clock = start
             thread.core = core
             deadline = thread.clock + self._timeslice
@@ -212,9 +224,15 @@ class Executor:
 
     def _run_quantum(self, thread: _Thread) -> None:
         deadline = thread.clock + self._quantum
+        bus = self._bus
         while not thread.done and thread.clock < deadline:
+            if bus.enabled:
+                # Machine-level emissions (tokens, conflicts,
+                # coherence) have no clock of their own: give the bus
+                # the running thread's clock as the default stamp.
+                bus.now = thread.clock
             if thread.doomed:
-                self._abort(thread)
+                self._abort(thread, AbortCause.CM_KILL)
                 continue
             if thread.pc >= len(thread.ops):
                 thread.done = True
@@ -263,6 +281,10 @@ class Executor:
         self._begin_seq += 1
         self._manager.transaction_started(thread.tid, self._begin_seq)
         self._history.begin(thread.tid, thread.clock)
+        if self._bus.enabled:
+            self._bus.emit(EventKind.TXN_BEGIN, cycle=thread.clock,
+                           tid=thread.tid, core=thread.core,
+                           attempt=thread.attempts + 1)
         thread.pc += 1
 
     def _commit(self, thread: _Thread) -> None:
@@ -294,6 +316,14 @@ class Executor:
             outcome.software_release_cycles,
         )
         self._history.commit(tid, release_point)
+        if self._bus.enabled:
+            self._bus.emit(
+                EventKind.TXN_COMMIT, cycle=thread.clock, tid=tid,
+                core=core, fast=outcome.used_fast_release,
+                read_set=read_set, write_set=write_set,
+                duration=thread.clock - thread.txn_start,
+                release_cycles=outcome.software_release_cycles,
+            )
         thread.pc += 1
         if self._commit_budget is not None:
             self._commit_budget -= 1
@@ -311,7 +341,8 @@ class Executor:
             if not other.in_txn:
                 other.done = True
 
-    def _abort(self, thread: _Thread) -> None:
+    def _abort(self, thread: _Thread,
+               cause: AbortCause = AbortCause.CONFLICT) -> None:
         outcome = self._htm.abort(thread.core, thread.tid)
         thread.clock += outcome.latency
         thread.in_txn = False
@@ -324,11 +355,16 @@ class Executor:
                 f"{thread.attempts} times; livelock"
             )
         self._manager.transaction_aborted(thread.tid)
-        self._stats.aborts += 1
+        self._stats.record_abort(cause.value)
         backoff = self._manager.backoff_delay(thread.attempts)
         thread.clock += backoff
         self._stats.backoff_cycles += backoff
         self._history.abort(thread.tid, thread.clock)
+        if self._bus.enabled:
+            self._bus.emit(EventKind.TXN_ABORT, cycle=thread.clock,
+                           tid=thread.tid, core=thread.core,
+                           cause=cause.value, attempt=thread.attempts,
+                           backoff=backoff)
         thread.pc = thread.begin_pc
 
     def _txn_access(self, thread: _Thread, block: int,
@@ -377,7 +413,7 @@ class Executor:
                     thread.tid, info, self._htm.active_tids()
                 )
         if decision.resolution is Resolution.ABORT_SELF:
-            self._abort(thread)
+            self._abort(thread, AbortCause.CONFLICT)
             return
         winning = False
         for victim_tid in decision.victims:
@@ -389,12 +425,17 @@ class Executor:
         exempt = (winning
                   or info.kind is ConflictKind.SERIALIZATION)
         if not exempt and thread.stalls > self._config.htm.max_stall_retries:
-            self._abort(thread)
+            self._abort(thread, AbortCause.STALL_LIMIT)
             return
         delay = self._manager.stall_delay(thread.stalls, winning=winning)
         thread.clock += delay
         self._stats.stall_events += 1
         self._stats.stall_cycles += delay
+        if self._bus.enabled:
+            self._bus.emit(EventKind.TXN_STALL, cycle=thread.clock,
+                           tid=thread.tid, core=thread.core,
+                           block=info.block, delay=delay, winning=winning,
+                           victims=list(decision.victims))
 
     def _nontxn_access(self, thread: _Thread, block: int,
                        is_write: bool) -> None:

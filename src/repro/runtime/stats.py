@@ -57,6 +57,10 @@ class RunStats:
     makespan: int = 0
     commits: int = 0
     aborts: int = 0
+    #: Abort-cause breakdown (keys are AbortCause values: "conflict",
+    #: "cm_kill", "stall_limit", "capacity").  Sums to ``aborts`` when
+    #: every abort goes through :meth:`record_abort`.
+    abort_causes: Dict[str, int] = field(default_factory=dict)
     preemptions: int = 0
     stall_events: int = 0
     stall_cycles: int = 0
@@ -77,6 +81,11 @@ class RunStats:
         self.max_write_set = max(self.max_write_set, write_set)
         bucket = self.fast if used_fast else self.software
         bucket.add(read_set, write_set, duration, release_cycles)
+
+    def record_abort(self, cause: str = "conflict") -> None:
+        """Count one abort, attributed to ``cause``."""
+        self.aborts += 1
+        self.abort_causes[cause] = self.abort_causes.get(cause, 0) + 1
 
     @property
     def fast_release_fraction(self) -> float:
@@ -119,6 +128,7 @@ class RunStats:
             "makespan": self.makespan,
             "commits": self.commits,
             "aborts": self.aborts,
+            "abort_causes": dict(self.abort_causes),
             "abort_rate": self.abort_rate,
             "fast_release_fraction": self.fast_release_fraction,
             "avg_read_set": self.avg_read_set,

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.common.errors import SimulationError
 from repro.htm.tokentm import TokenTM
+from repro.obs.events import EventKind
 
 
 @dataclass
@@ -58,6 +59,10 @@ class CoreScheduler:
         cycles = self._htm.context_switch(core)
         self._running[core] = None
         self.history.append(SwitchRecord(core, tid, cycles))
+        bus = self._htm.bus
+        if bus.enabled:
+            bus.emit(EventKind.CTX_SWITCH, tid=tid, core=core,
+                     cycles=cycles, source="scheduler")
         return cycles
 
     def resume(self, core: int, tid: int) -> None:

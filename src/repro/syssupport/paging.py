@@ -22,6 +22,7 @@ from typing import Dict, List
 
 from repro.common.errors import SimulationError
 from repro.htm.tokentm import TokenTM
+from repro.obs.events import EventKind
 
 #: Blocks per page: 4 KB pages of 64-byte blocks.
 BLOCKS_PER_PAGE = 64
@@ -70,6 +71,10 @@ class PageManager:
         image = PageImage(page)
         image.metabits = self._htm._store.page_out(page_blocks(page))
         self._swapped[page] = image
+        bus = self._htm.bus
+        if bus.enabled:
+            bus.emit(EventKind.PAGE_OUT, block=page * BLOCKS_PER_PAGE,
+                     page=page, metabit_blocks=len(image.metabits))
         return image
 
     def page_in(self, page: int) -> None:
@@ -78,6 +83,10 @@ class PageManager:
         if image is None:
             raise SimulationError(f"page {page} is not swapped out")
         self._htm._store.page_in(image.metabits)
+        bus = self._htm.bus
+        if bus.enabled:
+            bus.emit(EventKind.PAGE_IN, block=page * BLOCKS_PER_PAGE,
+                     page=page, metabit_blocks=len(image.metabits))
 
     def initialize_page(self, page: int) -> None:
         """Fresh physical page: metabits must start cleared.

@@ -1,0 +1,127 @@
+"""Event bus: ordering, disabled-path, and schema validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.obs.events import (
+    KINDS,
+    NULL_BUS,
+    Event,
+    EventBus,
+    EventKind,
+    validate_event,
+    validate_jsonl,
+)
+from repro.obs.sinks import ListSink
+
+
+class TestEventBus:
+    def test_seq_strictly_increasing(self):
+        bus = EventBus()
+        sink = ListSink()
+        bus.attach(sink)
+        for i in range(10):
+            bus.emit(EventKind.TXN_BEGIN, cycle=i * 5, tid=i % 3)
+        seqs = [e.seq for e in sink.events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_default_cycle_is_bus_now(self):
+        bus = EventBus()
+        bus.now = 123
+        event = bus.emit(EventKind.CONFLICT, block=7)
+        assert event.cycle == 123
+        explicit = bus.emit(EventKind.CONFLICT, cycle=9, block=7)
+        assert explicit.cycle == 9
+
+    def test_per_tid_cycles_monotonic(self):
+        """Per-tid cycle stamps never go backwards in a real stream."""
+        bus = EventBus()
+        sink = ListSink()
+        bus.attach(sink)
+        clocks = {0: 0, 1: 0}
+        for step in range(50):
+            tid = step % 2
+            clocks[tid] += 7 + step
+            bus.now = clocks[tid]
+            bus.emit(EventKind.TXN_STALL, tid=tid, delay=step)
+        last = {}
+        for event in sink.events:
+            assert event.cycle >= last.get(event.tid, 0)
+            last[event.tid] = event.cycle
+
+    def test_disabled_bus_emits_nothing(self):
+        bus = EventBus(enabled=False)
+        sink = ListSink()
+        bus.attach(sink)
+        assert bus.emit(EventKind.TXN_BEGIN, tid=0) is None
+        assert sink.events == []
+
+    def test_null_bus_refuses_sinks(self):
+        assert NULL_BUS.enabled is False
+        with pytest.raises(SimulationError):
+            NULL_BUS.attach(ListSink())
+
+    def test_detach(self):
+        bus = EventBus()
+        sink = ListSink()
+        bus.attach(sink)
+        bus.detach(sink)
+        bus.emit(EventKind.TXN_BEGIN, tid=0)
+        assert sink.events == []
+
+
+class TestEventSerialization:
+    def test_to_dict_omits_none_ids(self):
+        event = Event(1, 10, EventKind.FLASH_CLEAR, core=2)
+        d = event.to_dict()
+        assert d == {"seq": 1, "cycle": 10, "kind": "flash_clear",
+                     "core": 2}
+
+    def test_to_json_round_trip(self):
+        event = Event(3, 44, EventKind.TXN_ABORT, tid=1, core=0,
+                      attrs={"cause": "conflict", "attempt": 2})
+        obj = json.loads(event.to_json())
+        assert obj["kind"] == "txn_abort"
+        assert obj["cause"] == "conflict"
+        assert validate_event(obj) == []
+
+    def test_all_kinds_in_schema(self):
+        assert "txn_begin" in KINDS
+        assert len(KINDS) == len(EventKind)
+
+
+class TestValidation:
+    def test_validate_event_rejects_bad_fields(self):
+        assert validate_event([]) != []
+        assert validate_event({"seq": -1, "cycle": 0,
+                               "kind": "txn_begin"}) != []
+        assert validate_event({"seq": 1, "cycle": 0,
+                               "kind": "bogus"}) != []
+        assert validate_event({"seq": 1, "cycle": 0, "kind": "conflict",
+                               "tid": "zero"}) != []
+        assert validate_event({"seq": 1, "cycle": 0, "kind": "conflict",
+                               "nested": {"a": 1}}) != []
+
+    def test_validate_event_accepts_flat_lists(self):
+        obj = {"seq": 1, "cycle": 0, "kind": "txn_stall",
+               "victims": [1, 2, 3]}
+        assert validate_event(obj) == []
+
+    def test_validate_jsonl_checks_seq_order(self):
+        lines = [
+            '{"seq": 1, "cycle": 0, "kind": "txn_begin"}',
+            '{"seq": 1, "cycle": 5, "kind": "txn_commit"}',
+        ]
+        count, errors = validate_jsonl(lines)
+        assert count == 1
+        assert any("strictly increasing" in e for e in errors)
+
+    def test_validate_jsonl_reports_bad_json(self):
+        count, errors = validate_jsonl(["not json", ""])
+        assert count == 0
+        assert len(errors) == 1

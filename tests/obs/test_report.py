@@ -1,0 +1,114 @@
+"""TraceReport aggregation and pinned (golden) formatter output."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.obs.events import EventBus, EventKind
+from repro.obs.report import TraceReport
+from repro.obs.sinks import ListSink
+
+
+def synthetic_events():
+    """A tiny fixed stream: 3 attempts, 2 commits, 1 cm_kill abort."""
+    bus = EventBus()
+    sink = ListSink()
+    bus.attach(sink)
+    bus.emit(EventKind.TXN_BEGIN, cycle=0, tid=0, core=0, attempt=1)
+    bus.emit(EventKind.TOKEN_ACQUIRE, cycle=5, tid=0, core=0, block=8,
+             tokens=1, write=False)
+    bus.emit(EventKind.TXN_BEGIN, cycle=1, tid=1, core=1, attempt=1)
+    bus.emit(EventKind.CONFLICT, cycle=9, tid=1, core=1, block=8,
+             conflict_kind="writer")
+    bus.emit(EventKind.TXN_STALL, cycle=9, tid=1, core=1, block=8,
+             delay=40)
+    bus.emit(EventKind.TXN_ABORT, cycle=60, tid=1, core=1,
+             cause="cm_kill", attempt=1)
+    bus.emit(EventKind.FLASH_CLEAR, cycle=90, core=0, lines=2)
+    bus.emit(EventKind.TXN_COMMIT, cycle=90, tid=0, core=0, fast=True,
+             read_set=3, write_set=1, duration=90, release_cycles=0)
+    bus.emit(EventKind.TXN_BEGIN, cycle=100, tid=1, core=1, attempt=2)
+    bus.emit(EventKind.TOKEN_RELEASE, cycle=140, tid=1, core=1, block=8,
+             tokens=1)
+    bus.emit(EventKind.TXN_COMMIT, cycle=150, tid=1, core=1, fast=False,
+             read_set=2, write_set=2, duration=50, release_cycles=12)
+    return sink.events
+
+
+GOLDEN_SUMMARY = textwrap.dedent("""\
+    trace summary           value
+    ----------------------  -----
+    events                     11
+    txn attempts                3
+    commits                     2
+      fast-release              1
+      software-release          1
+    aborts                      1
+      cause: conflict           0
+      cause: cm_kill            1
+      cause: stall_limit        0
+      cause: capacity           0
+    stall events                1
+    stall cycles               40
+    conflicts                   1
+    nacks (false positive)  0 (0)
+    token acquires              1
+    token releases              1
+    flash clears                1
+    flash ORs                   0
+    fission / fusion        0 / 0
+    cache evictions             0
+    context switches            0
+    page out / in           0 / 0
+    events dropped              4""")
+
+
+class TestAggregation:
+    def test_counts(self):
+        report = TraceReport.from_events(synthetic_events())
+        assert report.events == 11
+        assert report.begins == 3
+        assert report.commits == 2
+        assert report.fast_commits == 1
+        assert report.sw_commits == 1
+        assert report.aborts == 1
+        assert report.abort_causes == {"cm_kill": 1}
+        assert report.stalls == 1
+        assert report.stall_cycles == 40
+        assert report.conflicts == 1
+        assert report.conflicts_by_block == {8: 1}
+        assert report.token_acquires == 1
+        assert report.token_releases == 1
+        assert report.flash_clears == 1
+
+    def test_duration_histogram(self):
+        report = TraceReport.from_events(synthetic_events())
+        hist = report.registry["txn.duration_cycles"]
+        assert hist.total == 2
+        assert hist.mean == 70.0
+
+    def test_as_live_sink(self):
+        """The report can be attached directly to a bus."""
+        bus = EventBus()
+        report = TraceReport()
+        bus.attach(report)
+        bus.emit(EventKind.TXN_BEGIN, cycle=0, tid=0)
+        assert report.begins == 1
+
+
+class TestGoldenOutput:
+    def test_format_summary_pinned(self):
+        report = TraceReport.from_events(synthetic_events(), dropped=4)
+        assert report.format_summary() == GOLDEN_SUMMARY
+
+    def test_full_report_sections(self):
+        report = TraceReport.from_events(synthetic_events())
+        text = report.format()
+        assert "Fast-release funnel" in text
+        assert "Abort attribution (1 aborts)" in text
+        assert "Per-block conflict heatmap" in text
+        assert "Committed-transaction durations" in text
+
+    def test_heatmap_empty(self):
+        report = TraceReport()
+        assert "(no conflicts recorded)" in report.format_heatmap()

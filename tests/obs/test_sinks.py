@@ -1,0 +1,133 @@
+"""Sinks: ring-buffer drops, JSONL round-trip, Chrome trace export."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import EventBus, EventKind, validate_jsonl
+from repro.obs.sinks import (
+    ChromeTraceExporter,
+    JsonlSink,
+    ListSink,
+    RingBufferSink,
+)
+
+
+def _emit_txn(bus, tid, core, begin, end, *, commit=True, **attrs):
+    bus.emit(EventKind.TXN_BEGIN, cycle=begin, tid=tid, core=core)
+    kind = EventKind.TXN_COMMIT if commit else EventKind.TXN_ABORT
+    bus.emit(kind, cycle=end, tid=tid, core=core, **attrs)
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent_and_counts_drops(self):
+        bus = EventBus()
+        ring = RingBufferSink(capacity=3)
+        bus.attach(ring)
+        for i in range(10):
+            bus.emit(EventKind.CONFLICT, cycle=i, block=i)
+        assert len(ring) == 3
+        assert ring.dropped == 7
+        assert [e.block for e in ring.events] == [7, 8, 9]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(0)
+
+
+class TestJsonlSink:
+    def test_round_trip_is_schema_valid(self):
+        buf = io.StringIO()
+        bus = EventBus()
+        bus.attach(JsonlSink(buf))
+        _emit_txn(bus, tid=1, core=0, begin=10, end=50, fast=True)
+        bus.emit(EventKind.TOKEN_ACQUIRE, cycle=20, tid=1, core=0,
+                 block=99, tokens=1, write=False)
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 3
+        count, errors = validate_jsonl(lines)
+        assert (count, errors) == (3, [])
+        objs = [json.loads(line) for line in lines]
+        assert objs[0]["kind"] == "txn_begin"
+        assert objs[2]["block"] == 99
+
+    def test_writes_to_path_and_closes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        bus = EventBus()
+        sink = JsonlSink(str(path))
+        bus.attach(sink)
+        bus.emit(EventKind.FLASH_CLEAR, cycle=5, core=1, lines=4)
+        bus.close()
+        assert sink.written == 1
+        count, errors = validate_jsonl(path.read_text().splitlines())
+        assert (count, errors) == (1, [])
+
+
+class TestChromeTraceExporter:
+    def _bus(self):
+        bus = EventBus()
+        chrome = ChromeTraceExporter()
+        bus.attach(chrome)
+        return bus, chrome
+
+    def test_txn_spans_and_instants(self):
+        bus, chrome = self._bus()
+        _emit_txn(bus, tid=1, core=0, begin=10, end=60, fast=True)
+        _emit_txn(bus, tid=2, core=1, begin=15, end=40, commit=False,
+                  cause="conflict")
+        bus.emit(EventKind.CONFLICT, cycle=30, tid=2, core=1, block=7)
+        doc = chrome.trace()
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(spans) == 2
+        commit = next(s for s in spans if s["cat"] == "commit")
+        assert commit["ts"] == 10 and commit["dur"] == 50
+        assert "(fast)" in commit["name"]
+        abort = next(s for s in spans if s["cat"] == "abort")
+        assert "[conflict]" in abort["name"]
+        instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        assert len(instants) == 1
+        assert instants[0]["tid"] == 1  # conflict rendered on core 1
+
+    def test_one_named_track_per_core(self):
+        bus, chrome = self._bus()
+        for core in (0, 2, 5):
+            _emit_txn(bus, tid=core, core=core, begin=0, end=10,
+                      fast=False)
+        doc = chrome.trace()
+        names = {e["tid"]: e["args"]["name"]
+                 for e in doc["traceEvents"]
+                 if e.get("name") == "thread_name"}
+        assert names == {0: "Core 0", 2: "Core 2", 5: "Core 5"}
+
+    def test_open_txn_drawn_to_end(self):
+        bus, chrome = self._bus()
+        bus.emit(EventKind.TXN_BEGIN, cycle=10, tid=1, core=0)
+        bus.emit(EventKind.CONFLICT, cycle=90, tid=1, core=0, block=3)
+        doc = chrome.trace()
+        open_spans = [e for e in doc["traceEvents"]
+                      if e.get("cat") == "open"]
+        assert len(open_spans) == 1
+        assert open_spans[0]["dur"] == 80
+
+    def test_export_is_valid_json(self, tmp_path):
+        bus, chrome = self._bus()
+        _emit_txn(bus, tid=0, core=0, begin=0, end=5, fast=True)
+        path = tmp_path / "trace.json"
+        count = chrome.export(str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == count
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestMultipleSinks:
+    def test_one_bus_fans_out(self):
+        bus = EventBus()
+        a, b = ListSink(), RingBufferSink(capacity=100)
+        bus.attach(a)
+        bus.attach(b)
+        bus.emit(EventKind.FUSION, cycle=1, core=0, block=2)
+        assert len(a) == len(b) == 1
+        assert a.events[0] is b.events[0]

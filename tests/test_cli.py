@@ -64,3 +64,62 @@ class TestCommands:
                      "--scale", "0.001", "--runs", "2"]) == 0
         out = capsys.readouterr().out
         assert "confidence" in out
+
+
+class TestTraceCommands:
+    def test_run_with_trace_summary(self, capsys):
+        assert main(["run", "Cholesky", "TokenTM",
+                     "--scale", "0.001", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "txn attempts" in out
+
+    def test_run_trace_out_is_schema_valid(self, tmp_path, capsys):
+        from repro.obs.events import validate_jsonl
+        path = tmp_path / "trace.jsonl"
+        assert main(["run", "Cholesky", "TokenTM", "--scale", "0.001",
+                     "--trace-out", str(path)]) == 0
+        count, errors = validate_jsonl(path.read_text().splitlines())
+        assert errors == []
+        assert count > 0
+
+    def test_run_chrome_out_loads(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["run", "Cholesky", "TokenTM", "--scale", "0.001",
+                     "--chrome-out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        tracks = [e for e in doc["traceEvents"]
+                  if e.get("name") == "thread_name"]
+        assert tracks, "expected per-core track metadata"
+
+    def test_trace_summary(self, capsys):
+        assert main(["trace", "Cholesky", "TokenTM",
+                     "--scale", "0.001", "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "Fast-release funnel" not in out
+
+    def test_trace_full_report(self, capsys):
+        assert main(["trace", "Cholesky", "TokenTM",
+                     "--scale", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "Fast-release funnel" in out
+        assert "Abort attribution" in out
+
+    def test_trace_validate_good_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["run", "Cholesky", "TokenTM", "--scale", "0.001",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--validate", str(path)]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_trace_validate_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 1, "cycle": -2, "kind": "nope"}\n')
+        assert main(["trace", "--validate", str(path)]) == 1
+
+    def test_trace_requires_workload_or_validate(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
