@@ -7,17 +7,24 @@ simulated runs are expensive, so:
   paper's Table 5 transaction count), recorded in the output;
 * (workload, variant) cells are cached per session so Figure 5 and
   Table 6 share TokenTM runs;
+* cells execute through a shared
+  :class:`~repro.perf.runner.ParallelRunner`: set
+  ``REPRO_BENCH_WORKERS=N`` to simulate on N processes and
+  ``REPRO_CACHE_DIR`` to persist cells across sessions (both off by
+  default, so plain runs measure serial simulation);
 * tables print through ``capsys.disabled()`` so they appear in the
   captured benchmark log.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import os
+from typing import Dict, Optional, Tuple
 
 import pytest
 
-from repro.analysis.experiments import run_cell
+from repro.perf.cache import ENV_CACHE_DIR, ResultCache
+from repro.perf.runner import CellSpec, ParallelRunner
 from repro.workloads import tm_workloads
 
 #: Seed used by every benchmark run (perturbed where CIs are needed).
@@ -55,13 +62,27 @@ def workloads():
     return tm_workloads()
 
 
+_RUNNER: Optional[ParallelRunner] = None
+
+
+def _bench_runner() -> ParallelRunner:
+    """Session-shared cell runner, built lazily from the environment."""
+    global _RUNNER
+    if _RUNNER is None:
+        workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+        cache = ResultCache() if os.environ.get(ENV_CACHE_DIR) else None
+        _RUNNER = ParallelRunner(workers=workers, cache=cache)
+    return _RUNNER
+
+
 def cached_cell(cache, workloads, name: str, variant: str,
                 seed: int = BENCH_SEED):
     """Run (or fetch) one grid cell at the benchmark scale."""
     key = (name, variant, seed)
     if key not in cache:
-        cache[key] = run_cell(workloads[name], variant,
-                              scale=SCALES[name], seed=seed)
+        spec = CellSpec(workloads[name].spec, variant, seed=seed,
+                        scale=SCALES[name])
+        cache[key] = _bench_runner().run_cell(spec)
     return cache[key]
 
 

@@ -1,0 +1,1 @@
+"""Harness-performance benchmarks (marked ``perf``; not tier-1)."""

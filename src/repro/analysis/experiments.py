@@ -104,8 +104,21 @@ def run_variants(workload: SyntheticTxnWorkload,
                  scale: float = 1.0, seed: int = 0,
                  threads: Optional[int] = None,
                  system: Optional[SystemConfig] = None,
-                 htm_config: Optional[HTMConfig] = None) -> Dict[str, Cell]:
-    """Run one workload across several variants on identical traces."""
+                 htm_config: Optional[HTMConfig] = None,
+                 runner=None) -> Dict[str, Cell]:
+    """Run one workload across several variants on identical traces.
+
+    ``runner`` (a :class:`repro.perf.runner.ParallelRunner`) fans the
+    variants out over worker processes and/or the result cache; the
+    default runs them inline.  Results are identical either way.
+    """
+    if runner is not None:
+        from repro.perf.runner import grid_specs  # local: avoids cycle
+
+        specs = grid_specs([workload], tuple(variants), seeds=(seed,),
+                           scale=scale, threads=threads, system=system,
+                           htm=htm_config)
+        return dict(zip(variants, runner.run_cells(specs)))
     return {
         v: run_cell(workload, v, scale=scale, seed=seed, threads=threads,
                     system=system, htm_config=htm_config)
@@ -131,21 +144,35 @@ def figure_speedups(workload: SyntheticTxnWorkload,
                     seed: int = 0,
                     threads: Optional[int] = None,
                     system: Optional[SystemConfig] = None,
-                    htm_config: Optional[HTMConfig] = None) -> SpeedupSeries:
+                    htm_config: Optional[HTMConfig] = None,
+                    runner=None) -> SpeedupSeries:
     """Speedup of each variant normalized to ``baseline``.
 
     ``runs`` > 1 produces 95% confidence intervals from perturbed
-    seeds, as the paper does.
+    seeds, as the paper does.  ``runner`` fans the whole
+    (seed, variant) grid out at once (see :func:`run_variants`).
     """
     if baseline not in variants:
         variants = tuple(variants) + (baseline,)
     seeds = perturbation_seeds(seed, runs)
     per_variant: Dict[str, List[float]] = {v: [] for v in variants}
     series = SpeedupSeries(workload.spec.name, baseline)
-    for run_seed in seeds:
-        cells = run_variants(workload, variants, scale=scale,
-                             seed=run_seed, threads=threads,
-                             system=system, htm_config=htm_config)
+    if runner is not None:
+        from repro.perf.runner import grid_specs  # local: avoids cycle
+
+        flat = runner.run_cells(grid_specs(
+            [workload], tuple(variants), seeds=tuple(seeds), scale=scale,
+            threads=threads, system=system, htm=htm_config,
+        ))
+        nv = len(variants)
+        rounds = [dict(zip(variants, flat[i * nv:(i + 1) * nv]))
+                  for i in range(len(seeds))]
+    else:
+        rounds = None
+    for i, run_seed in enumerate(seeds):
+        cells = rounds[i] if rounds is not None else run_variants(
+            workload, variants, scale=scale, seed=run_seed,
+            threads=threads, system=system, htm_config=htm_config)
         series.cells.extend(cells.values())
         base = cells[baseline].stats.makespan
         for variant, cell in cells.items():

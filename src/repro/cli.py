@@ -11,10 +11,15 @@ Commands map one-to-one onto the paper's experiments:
 * ``table6``   — TokenTM-specific overheads;
 * ``figure1``  — false-positive study (LogTM-SE variants);
 * ``figure5``  — the main performance comparison;
+* ``bench``    — the performance benchmark harness
+  (``BENCH_perf.json``; see ``docs/performance.md``);
 * ``variants`` — list the available HTM variants.
 
 Every command takes ``--seed`` and (where it applies) ``--scale`` so
-results are reproducible and sized to taste.
+results are reproducible and sized to taste.  The grid commands
+(``figure1``/``figure5``/``bench``) take ``--workers`` to fan cells
+out over processes and ``--cache-dir`` to reuse finished cells across
+invocations.
 """
 
 from __future__ import annotations
@@ -192,16 +197,40 @@ def cmd_table6(args) -> int:
     return 0
 
 
+def _runner_from_args(args):
+    """Optional ParallelRunner built from ``--workers``/``--cache-dir``.
+
+    Returns None when neither was given, so the default path stays
+    import-free and inline.
+    """
+    workers = getattr(args, "workers", 0) or 0
+    cache_dir = getattr(args, "cache_dir", None)
+    if not workers and not cache_dir:
+        return None
+    from repro.perf.cache import ResultCache
+    from repro.perf.runner import ParallelRunner, default_workers
+
+    if workers < 0:
+        workers = default_workers()
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return ParallelRunner(workers=workers, cache=cache)
+
+
 def _figure(args, variants, title: str) -> int:
     names = args.workloads or list(tm_workloads())
     series = []
-    for name in names:
-        wl = _workload(name)
-        scale = args.scale or DEFAULT_SCALES[name]
-        series.append(figure_speedups(
-            wl, variants=variants, scale=scale, runs=args.runs,
-            seed=args.seed,
-        ))
+    runner = _runner_from_args(args)
+    try:
+        for name in names:
+            wl = _workload(name)
+            scale = args.scale or DEFAULT_SCALES[name]
+            series.append(figure_speedups(
+                wl, variants=variants, scale=scale, runs=args.runs,
+                seed=args.seed, runner=runner,
+            ))
+    finally:
+        if runner is not None:
+            runner.close()
     print(format_speedup_figure(series, title))
     if args.runs > 1:
         print("\n95% confidence intervals:")
@@ -224,6 +253,25 @@ def cmd_figure5(args) -> int:
     return _figure(args, FIGURE5_VARIANTS,
                    "Figure 5. TokenTM Performance "
                    "(speedup vs LogTM-SE_Perf)")
+
+
+def cmd_bench(args) -> int:
+    from repro.perf.bench import format_bench_summary, run_bench
+    from repro.perf.runner import default_workers
+
+    workers = args.workers
+    if workers < 0:
+        workers = default_workers()
+    payload = run_bench(
+        out=args.out, quick=args.quick, seed=args.seed, workers=workers,
+        workload_names=args.workloads, variants=args.variants,
+        scale_factor=args.scale_factor, cache_dir=args.cache_dir,
+        compare_serial=args.compare_serial, micro=not args.no_micro,
+        micro_rounds=args.micro_rounds,
+    )
+    print(format_bench_summary(payload))
+    print(f"wrote {args.out}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -288,7 +336,36 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=2008)
         p.add_argument("--runs", type=int, default=1,
                        help="perturbed runs for 95%% CIs")
+        p.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = inline, "
+                            "-1 = one per CPU)")
+        p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="reuse finished cells from this cache")
         p.set_defaults(func=func)
+
+    bench_p = sub.add_parser(
+        "bench", help="performance benchmark harness (BENCH_perf.json)")
+    bench_p.add_argument("--out", metavar="FILE", default="BENCH_perf.json")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="small CI-sized grid and microbenchmark")
+    bench_p.add_argument("--seed", type=int, default=2008)
+    bench_p.add_argument("--workers", type=int, default=0,
+                         help="worker processes (0 = inline, "
+                              "-1 = one per CPU)")
+    bench_p.add_argument("--workloads", nargs="*", default=None)
+    bench_p.add_argument("--variants", nargs="*", default=None)
+    bench_p.add_argument("--scale-factor", type=float, default=1.0,
+                         help="multiply every workload's grid scale")
+    bench_p.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="cell cache directory (off by default "
+                              "so timings measure simulation)")
+    bench_p.add_argument("--compare-serial", action="store_true",
+                         help="also time the grid serially and check "
+                              "parallel results are identical")
+    bench_p.add_argument("--no-micro", action="store_true",
+                         help="skip the interpreter microbenchmark")
+    bench_p.add_argument("--micro-rounds", type=int, default=3)
+    bench_p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -20,7 +20,7 @@ call :meth:`MemorySystem.access`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from repro.common.config import SystemConfig
@@ -73,18 +73,31 @@ class AccessPreview:
     would_downgrade: Optional[int]
 
 
-@dataclass
 class AccessResult:
-    """Outcome of a performed access."""
+    """Outcome of a performed access.
 
-    latency: int
-    hit: bool
-    line: CacheLine
-    upgraded: bool = False
-    filled: bool = False
-    source: int = MEMORY_HOLDER
-    invalidated: Tuple[int, ...] = ()
-    evicted_victim: bool = False
+    A plain ``__slots__`` class rather than a dataclass: one of these
+    is allocated on every access the simulator performs, and dropping
+    the per-instance ``__dict__`` measurably cuts allocation cost in
+    the hot path.
+    """
+
+    __slots__ = ("latency", "hit", "line", "upgraded", "filled",
+                 "source", "invalidated", "evicted_victim")
+
+    def __init__(self, latency: int, hit: bool, line: CacheLine,
+                 upgraded: bool = False, filled: bool = False,
+                 source: int = MEMORY_HOLDER,
+                 invalidated: Tuple[int, ...] = (),
+                 evicted_victim: bool = False):
+        self.latency = latency
+        self.hit = hit
+        self.line = line
+        self.upgraded = upgraded
+        self.filled = filled
+        self.source = source
+        self.invalidated = invalidated
+        self.evicted_victim = evicted_victim
 
 
 @dataclass
@@ -115,6 +128,11 @@ class MemorySystem:
                  bus: Optional[EventBus] = None):
         self._config = config
         self._topology = TiledTopology(config)
+        # Hot-path locals: the latency model and the bank-interleave
+        # mask are consulted on every access; caching them here skips
+        # two attribute chains per lookup.
+        self._lat = config.latency
+        self._bank_mask = config.l2_banks - 1
         self._listener = listener or CoherenceListener()
         #: Observability bus shared by the whole machine stack: the
         #: HTM and executor layers pick it up from here, so enabling
@@ -229,7 +247,7 @@ class MemorySystem:
 
     def _access_hit(self, core: int, cache: L1Cache, line: CacheLine,
                     block: int, is_write: bool) -> AccessResult:
-        lat = self._config.latency
+        lat = self._lat
         cache.touch(block)
         if not is_write or line.state is MESI.MODIFIED:
             self.stats.l1_hits += 1
@@ -255,7 +273,8 @@ class MemorySystem:
         self.stats.l1_misses += 1
         evicted = self._make_room(core, cache, block)
         entry = self._directory.entry(block)
-        lat = self._config.latency
+        lat = self._lat
+        topo = self._topology
         latency = self._directory_round_trip(core, block)
         source = MEMORY_HOLDER
         invalidated: Tuple[int, ...] = ()
@@ -266,11 +285,9 @@ class MemorySystem:
             source = owner
             self.stats.cache_to_cache += 1
             # Forward request to owner, data comes core-to-core.
-            latency += (self._topology.latency(
-                self._topology.core_to_bank_hops(
-                    owner, self._config.l2_bank_of(block)))
-                + self._topology.latency(
-                    self._topology.core_to_core_hops(owner, core)))
+            latency += (topo.core_to_bank_latency(
+                owner, block & self._bank_mask)
+                + topo.core_to_core_latency(owner, core))
             if is_write:
                 owner_line = self._caches[owner].remove(block)
                 self._listener.on_invalidate(owner, block, owner_line, core)
@@ -295,10 +312,9 @@ class MemorySystem:
                 self._l2_present.add(block)
             else:
                 self.stats.memory_fetches += 1
-                bank = self._config.l2_bank_of(block)
+                bank = block & self._bank_mask
                 latency += (lat.memory
-                            + 2 * self._topology.latency(
-                                self._topology.bank_to_memory_hops(bank, block)))
+                            + 2 * topo.bank_to_memory_latency(bank, block))
                 self._l2_present.add(block)
 
         if is_write:
@@ -369,24 +385,23 @@ class MemorySystem:
         return tuple(others)
 
     def _directory_round_trip(self, core: int, block: int) -> int:
-        lat = self._config.latency
-        bank = self._config.l2_bank_of(block)
-        hops = self._topology.core_to_bank_hops(core, bank)
-        return 2 * self._topology.latency(hops) + lat.directory
+        bank = block & self._bank_mask
+        return (2 * self._topology.core_to_bank_latency(core, bank)
+                + self._lat.directory)
 
     def _invalidation_latency(self, core: int, block: int,
                               invalidated: Tuple[int, ...]) -> int:
         """Invalidations fan out in parallel; charge the slowest."""
         if not invalidated:
             return 0
-        bank = self._config.l2_bank_of(block)
+        bank = block & self._bank_mask
+        topo = self._topology
         worst = 0
         for other in invalidated:
-            one_way = (self._topology.latency(
-                self._topology.core_to_bank_hops(other, bank))
-                + self._topology.latency(
-                    self._topology.core_to_core_hops(other, core)))
-            worst = max(worst, one_way)
+            one_way = (topo.core_to_bank_latency(other, bank)
+                       + topo.core_to_core_latency(other, core))
+            if one_way > worst:
+                worst = one_way
         return worst
 
     # ------------------------------------------------------------------

@@ -62,6 +62,35 @@ class TiledTopology:
             TilePosition(0, rows[i % len(rows)])
             for i in range(config.memory_controllers)
         ]
+        # The grid is static, so every hop distance the protocol can
+        # ask for is precomputed here; the per-access cost becomes two
+        # list indexes instead of TilePosition allocation/arithmetic.
+        # At the paper's scale these tables are tiny (32x32 ints).
+        hop = config.latency.hop
+        core_pos = [self._cluster_pos[core // config.cores_per_cluster]
+                    for core in range(config.num_cores)]
+        bank_pos = [self._cluster_pos[c] for c in self._bank_cluster]
+        self._core_bank_hops = [
+            [cp.hops_to(bp) for bp in bank_pos] for cp in core_pos
+        ]
+        self._core_core_hops = [
+            [ap.hops_to(bp) for bp in core_pos] for ap in core_pos
+        ]
+        nmc = config.memory_controllers
+        self._bank_mc_hops = [
+            [bank_pos[bank].hops_to(self._mc_pos[mc % len(self._mc_pos)])
+             for mc in range(nmc)]
+            for bank in range(config.l2_banks)
+        ]
+        self._core_bank_lat = [
+            [hops * hop for hops in row] for row in self._core_bank_hops
+        ]
+        self._core_core_lat = [
+            [hops * hop for hops in row] for row in self._core_core_hops
+        ]
+        self._bank_mc_lat = [
+            [hops * hop for hops in row] for row in self._bank_mc_hops
+        ]
 
     @staticmethod
     def _pick_width(clusters: int) -> int:
@@ -93,16 +122,29 @@ class TiledTopology:
 
     def core_to_bank_hops(self, core: int, bank: int) -> int:
         """Hops from a core to an L2 bank."""
-        return self.core_position(core).hops_to(self.bank_position(bank))
+        return self._core_bank_hops[core][bank]
 
     def core_to_core_hops(self, a: int, b: int) -> int:
         """Hops between two cores (for forwarded requests/acks)."""
-        return self.core_position(a).hops_to(self.core_position(b))
+        return self._core_core_hops[a][b]
 
     def bank_to_memory_hops(self, bank: int, block_addr: int) -> int:
         """Hops from an L2 bank to the block's memory controller."""
-        mc = self.controller_of(block_addr)
-        return self.bank_position(bank).hops_to(self.controller_position(mc))
+        mc = block_addr % self._config.memory_controllers
+        return self._bank_mc_hops[bank][mc]
+
+    def core_to_bank_latency(self, core: int, bank: int) -> int:
+        """One-way cycles from a core to an L2 bank (precomputed)."""
+        return self._core_bank_lat[core][bank]
+
+    def core_to_core_latency(self, a: int, b: int) -> int:
+        """One-way cycles between two cores (precomputed)."""
+        return self._core_core_lat[a][b]
+
+    def bank_to_memory_latency(self, bank: int, block_addr: int) -> int:
+        """One-way cycles from a bank to the block's controller."""
+        mc = block_addr % self._config.memory_controllers
+        return self._bank_mc_lat[bank][mc]
 
     def latency(self, hops: int) -> int:
         """Cycles for a one-way message crossing ``hops`` tiles."""

@@ -1,0 +1,353 @@
+"""``repro bench``: the repo's performance benchmark harness.
+
+Measures two things and writes both to ``BENCH_perf.json``:
+
+* **grid throughput** — wall-clock and simulated-ops/sec for every
+  cell of an evaluation grid, run through the
+  :class:`~repro.perf.runner.ParallelRunner`;
+* **interpreter microbenchmark** — the optimized executor hot loop
+  vs. the faithful pre-optimization copy in
+  :mod:`repro.perf.legacy`, on an identical conflict-free trace, so
+  the loop speedup is isolated from simulation content.
+
+Schema of ``BENCH_perf.json`` (``repro-bench-perf/1``, documented in
+``docs/performance.md``):
+
+``schema``        schema identifier string;
+``config``        seed / workers / quick flag / per-workload scales;
+``grid``          ``wall_seconds`` for the whole grid plus ``cells``,
+                  each with workload, variant, seed, scale,
+                  trace_ops, wall_seconds (null when the cache
+                  answered), sim_ops_per_sec, makespan, commits,
+                  aborts, cache_hit;
+``totals``        summed trace_ops / wall and aggregate ops/sec;
+``microbench``    trace_ops, rounds, legacy/optimized ops-per-sec
+                  and their ratio (``speedup``);
+``parallel``      optional serial-vs-parallel wall comparison
+                  (``--compare-serial``) with a ``byte_identical``
+                  stats check;
+``metrics``       the runner's metrics-registry snapshot
+                  (cache hits/misses, cells simulated, workers).
+
+Simulated-ops/sec counts *trace* operations retired per wall second;
+aborted-and-retried work is not double-counted, so the number is a
+throughput of useful simulation progress.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import Cell
+from repro.common.config import HTMConfig, RunConfig, SystemConfig
+from repro.coherence.protocol import MemorySystem
+from repro.htm import make_htm
+from repro.perf.cache import ResultCache
+from repro.perf.legacy import LegacyExecutor
+from repro.perf.runner import CellSpec, ParallelRunner
+from repro.runtime.executor import Executor
+from repro.workloads import tm_workloads
+from repro.workloads.trace import (
+    OP_BEGIN,
+    OP_COMMIT,
+    OP_COMPUTE,
+    OP_READ,
+    OP_WRITE,
+    ThreadTrace,
+    WorkloadTrace,
+)
+
+#: Identifier written into every BENCH_perf.json.
+BENCH_SCHEMA = "repro-bench-perf/1"
+
+#: Default output path, at the repo root like the other BENCH files.
+DEFAULT_OUT = "BENCH_perf.json"
+
+#: Per-workload scales for the full grid — the Figure 5 operating
+#: point (matches ``repro figure5`` and benchmarks/conftest.py).
+GRID_SCALES: Dict[str, float] = {
+    "Barnes": 0.2, "Cholesky": 0.01, "Radiosity": 0.02,
+    "Raytrace": 0.01, "Delaunay": 0.015, "Genome": 0.004,
+    "Vacation-Low": 0.02, "Vacation-High": 0.02,
+}
+
+#: The full-grid variant set (Figure 5's five machines).
+GRID_VARIANTS = (
+    "LogTM-SE_2xH3", "LogTM-SE_4xH3", "LogTM-SE_Perf",
+    "TokenTM", "TokenTM_NoFast",
+)
+
+#: ``--quick`` subset: two contrasting workloads on two variants at
+#: reduced scale, sized for a CI smoke job.
+QUICK_WORKLOADS = ("Cholesky", "Vacation-Low")
+QUICK_VARIANTS = ("TokenTM", "LogTM-SE_4xH3")
+QUICK_SCALE_FACTOR = 0.25
+
+#: Microbenchmark trace shape (per thread): transactions of a few
+#: private accesses followed by a long COMPUTE run — the opcode mix
+#: that dominates real traces, weighted so the interpreter loop (not
+#: the HTM access path, which both executors share) is what's timed.
+MICRO_THREADS = 4
+MICRO_TXNS = 60
+MICRO_COMPUTES = 400
+MICRO_COMPUTE_CYCLES = 2
+
+
+def micro_trace(threads: int = MICRO_THREADS, txns: int = MICRO_TXNS,
+                computes: int = MICRO_COMPUTES,
+                compute_cycles: int = MICRO_COMPUTE_CYCLES) -> WorkloadTrace:
+    """Deterministic conflict-free trace for the loop microbenchmark.
+
+    Every thread touches only its own block range, so the run is
+    abort-free and both executors retire the identical op stream.
+    """
+    thread_traces = []
+    for tid in range(threads):
+        base = tid << 12  # disjoint per-thread block ranges
+        ops = []
+        for t in range(txns):
+            ops.append((OP_BEGIN, 0))
+            ops.append((OP_READ, base + (t % 64)))
+            ops.append((OP_READ, base + ((t + 7) % 64)))
+            ops.append((OP_WRITE, base + ((t + 3) % 64)))
+            ops.extend([(OP_COMPUTE, compute_cycles)] * computes)
+            ops.append((OP_COMMIT, 0))
+            ops.append((OP_COMPUTE, compute_cycles))
+        thread_traces.append(ThreadTrace(tid, ops))
+    return WorkloadTrace("Microbench", thread_traces,
+                         params={"threads": threads, "txns": txns,
+                                 "computes": computes})
+
+
+def _grid_cells_payload(specs: Sequence[CellSpec], cells: Sequence[Cell],
+                        walls: Sequence[Optional[float]]) -> List[Dict]:
+    rows = []
+    for spec, cell, wall in zip(specs, cells, walls):
+        stats = cell.stats
+        ops = int(stats.machine.get("_trace_ops", 0))
+        rows.append({
+            "workload": spec.workload.name,
+            "variant": spec.variant,
+            "seed": spec.seed,
+            "scale": spec.scale,
+            "trace_ops": ops,
+            "wall_seconds": wall,
+            "sim_ops_per_sec": (ops / wall) if wall else None,
+            "makespan": stats.makespan,
+            "commits": stats.commits,
+            "aborts": stats.aborts,
+            "cache_hit": wall is None,
+        })
+    return rows
+
+
+def run_grid(specs: Sequence[CellSpec], workers: int = 0,
+             cache: Optional[ResultCache] = None):
+    """Run a grid through the runner.
+
+    Returns ``(grid_payload, metrics_snapshot)``.
+    """
+    with ParallelRunner(workers=workers, cache=cache) as runner:
+        start = time.perf_counter()
+        cells = runner.run_cells(list(specs))
+        wall = time.perf_counter() - start
+        payload = {
+            "wall_seconds": wall,
+            "cells": _grid_cells_payload(specs, cells,
+                                         runner.last_wall_seconds),
+        }
+        return payload, runner.metrics.snapshot()
+
+
+def compare_serial_parallel(specs: Sequence[CellSpec],
+                            workers: int) -> Dict:
+    """Time the same (uncached) grid serially and with ``workers``.
+
+    Also cross-checks that both runs produced identical statistics —
+    the determinism contract the parallel engine must keep.
+    """
+    start = time.perf_counter()
+    serial_cells = ParallelRunner(workers=0).run_cells(list(specs))
+    serial_wall = time.perf_counter() - start
+    with ParallelRunner(workers=workers) as runner:
+        start = time.perf_counter()
+        parallel_cells = runner.run_cells(list(specs))
+        parallel_wall = time.perf_counter() - start
+    identical = all(
+        a.stats.snapshot() == b.stats.snapshot()
+        for a, b in zip(serial_cells, parallel_cells)
+    )
+    return {
+        "cells": len(specs),
+        "workers": workers,
+        "serial_wall_seconds": serial_wall,
+        "parallel_wall_seconds": parallel_wall,
+        "speedup": serial_wall / parallel_wall if parallel_wall else None,
+        "byte_identical": identical,
+    }
+
+
+# ----------------------------------------------------------------------
+# Interpreter microbenchmark
+# ----------------------------------------------------------------------
+
+def _micro_run(executor_cls, trace, seed: int):
+    system = SystemConfig()
+    htm_cfg = HTMConfig()
+    machine = make_htm("TokenTM", MemorySystem(system), htm_cfg)
+    executor = executor_cls(
+        machine, trace, RunConfig(system=system, htm=htm_cfg, seed=seed),
+        validate=False, track_history=False,
+    )
+    start = time.perf_counter()
+    result = executor.run()
+    return time.perf_counter() - start, result.stats
+
+
+def microbench(seed: int = 2008, rounds: int = 3,
+               scale: float = 1.0) -> Dict:
+    """Optimized vs. legacy hot loop on one conflict-free trace.
+
+    Fresh machines each round; best-of-``rounds`` wall time on both
+    sides.  The two loops must produce identical statistics (asserted
+    here), so the comparison times interpretation, not behaviour.
+    ``scale`` multiplies the per-thread transaction count.
+    """
+    trace = micro_trace(txns=max(1, int(MICRO_TXNS * scale)))
+    ops = trace.total_ops()
+    best_legacy = best_new = float("inf")
+    legacy_stats = new_stats = None
+    for _ in range(max(1, rounds)):
+        wall, stats = _micro_run(LegacyExecutor, trace, seed)
+        if wall < best_legacy:
+            best_legacy, legacy_stats = wall, stats
+        wall, stats = _micro_run(Executor, trace, seed)
+        if wall < best_new:
+            best_new, new_stats = wall, stats
+    if legacy_stats.snapshot() != new_stats.snapshot():
+        raise AssertionError(
+            "legacy and optimized loops diverged on the microbenchmark"
+        )
+    legacy_ops = ops / best_legacy
+    new_ops = ops / best_new
+    return {
+        "trace_ops": ops,
+        "rounds": rounds,
+        "legacy_wall_seconds": best_legacy,
+        "optimized_wall_seconds": best_new,
+        "legacy_ops_per_sec": legacy_ops,
+        "optimized_ops_per_sec": new_ops,
+        "speedup": new_ops / legacy_ops,
+    }
+
+
+# ----------------------------------------------------------------------
+# Top-level harness
+# ----------------------------------------------------------------------
+
+def bench_specs(quick: bool = False, seed: int = 2008,
+                workload_names: Optional[Sequence[str]] = None,
+                variants: Optional[Sequence[str]] = None,
+                scale_factor: float = 1.0) -> List[CellSpec]:
+    """The benchmark grid as cell specs (Figure 5 grid by default)."""
+    registry = tm_workloads()
+    if workload_names is None:
+        workload_names = QUICK_WORKLOADS if quick else tuple(GRID_SCALES)
+    if variants is None:
+        variants = QUICK_VARIANTS if quick else GRID_VARIANTS
+    if quick:
+        scale_factor *= QUICK_SCALE_FACTOR
+    specs = []
+    for name in workload_names:
+        if name not in registry:
+            raise SystemExit(f"unknown workload {name!r}")
+        scale = GRID_SCALES.get(name, 0.02) * scale_factor
+        for variant in variants:
+            specs.append(CellSpec(registry[name].spec, variant,
+                                  seed=seed, scale=scale))
+    return specs
+
+
+def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
+              seed: int = 2008, workers: int = 0,
+              workload_names: Optional[Sequence[str]] = None,
+              variants: Optional[Sequence[str]] = None,
+              scale_factor: float = 1.0,
+              cache_dir: Optional[str] = None,
+              compare_serial: bool = False,
+              micro: bool = True,
+              micro_rounds: int = 3) -> Dict:
+    """Run the harness and write ``BENCH_perf.json``; returns payload."""
+    specs = bench_specs(quick=quick, seed=seed,
+                        workload_names=workload_names, variants=variants,
+                        scale_factor=scale_factor)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    grid, metrics = run_grid(specs, workers=workers, cache=cache)
+    total_ops = sum(c["trace_ops"] for c in grid["cells"])
+    timed_walls = [c["wall_seconds"] for c in grid["cells"]
+                   if c["wall_seconds"]]
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "unix_time": int(time.time()),
+        "python": platform.python_version(),
+        "config": {
+            "seed": seed,
+            "workers": workers,
+            "quick": quick,
+            "cache_dir": cache_dir,
+            "scales": {c["workload"]: c["scale"] for c in grid["cells"]},
+        },
+        "grid": grid,
+        "totals": {
+            "cells": len(grid["cells"]),
+            "trace_ops": total_ops,
+            "wall_seconds": grid["wall_seconds"],
+            "sim_ops_per_sec": (total_ops / grid["wall_seconds"]
+                                if grid["wall_seconds"] else None),
+            "cell_wall_seconds_sum": sum(timed_walls),
+        },
+        "microbench": (microbench(seed=seed, rounds=micro_rounds,
+                                  scale=0.5 if quick else 1.0)
+                       if micro else None),
+        "parallel": (compare_serial_parallel(specs, workers)
+                     if compare_serial and workers > 1 else None),
+        "metrics": metrics,
+    }
+    Path(out).write_text(json.dumps(payload, indent=2) + "\n",
+                         encoding="utf-8")
+    return payload
+
+
+def format_bench_summary(payload: Dict) -> str:
+    """Human-readable digest of a bench payload for the CLI."""
+    lines = []
+    totals = payload["totals"]
+    lines.append(
+        f"grid: {totals['cells']} cells, {totals['trace_ops']} trace ops "
+        f"in {totals['wall_seconds']:.2f}s wall "
+        f"({(totals['sim_ops_per_sec'] or 0):,.0f} ops/sec)"
+    )
+    micro = payload.get("microbench")
+    if micro:
+        lines.append(
+            f"interpreter: optimized {micro['optimized_ops_per_sec']:,.0f} "
+            f"ops/sec vs legacy {micro['legacy_ops_per_sec']:,.0f} "
+            f"(speedup {micro['speedup']:.2f}x)"
+        )
+    par = payload.get("parallel")
+    if par:
+        lines.append(
+            f"parallel: {par['workers']} workers "
+            f"{par['parallel_wall_seconds']:.2f}s vs serial "
+            f"{par['serial_wall_seconds']:.2f}s "
+            f"(speedup {par['speedup']:.2f}x, "
+            f"identical={par['byte_identical']})"
+        )
+    hits = payload["metrics"].get("perf.cache_hits", {}).get("value", 0)
+    if hits:
+        lines.append(f"cache: {hits} hits")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Content-hashed on-disk cache of finished grid cells.
+
+A cell's result is fully determined by its content: the workload
+spec, the HTM variant, the system and HTM configurations, the seed,
+the scale, and the thread count.  :func:`cell_key` hashes a canonical
+JSON rendering of exactly that content (plus a schema version), so
+
+* re-running a figure or table build hits the cache and is near-free;
+* an interrupted sweep resumes where it stopped (finished cells are
+  on disk, unfinished ones re-run);
+* *any* change to a knob that affects results — a latency constant, a
+  signature geometry, the scale — changes the key and transparently
+  invalidates just the affected cells.
+
+Entries live under ``<root>/<k[:2]>/<k>.pkl`` (pickled
+:class:`~repro.analysis.experiments.Cell`) with a ``.json`` sidecar
+holding the human-readable key material for debugging.  Writes are
+atomic (temp file + ``os.replace``), so a killed run never leaves a
+truncated entry.  Bump :data:`CACHE_SCHEMA` when the simulator's
+behaviour changes in a way the key content cannot see.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Version folded into every key.  Bump on behavioural changes that
+#: the key payload itself does not capture (e.g. executor semantics).
+CACHE_SCHEMA = 1
+
+#: Default cache directory (overridable via the environment).
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    return Path(os.environ.get(ENV_CACHE_DIR, DEFAULT_CACHE_DIR))
+
+
+def _canonical(obj: Any) -> Any:
+    """Recursively reduce dataclasses/containers to JSON-able values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for cache key")
+
+
+def cell_key(spec) -> str:
+    """Content hash (hex) of one grid cell.
+
+    ``spec`` is anything with a ``payload()`` returning the dict of
+    result-determining content (:class:`repro.perf.runner.CellSpec`),
+    or such a dict directly.
+    """
+    payload = spec.payload() if hasattr(spec, "payload") else spec
+    canonical = {"cache_schema": CACHE_SCHEMA, **_canonical(payload)}
+    blob = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed store of pickled grid cells, keyed by hash."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """The cached cell for ``key``, or None."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (FileNotFoundError, EOFError, pickle.UnpicklingError):
+            return None
+
+    def put(self, key: str, cell, sidecar: Optional[Dict] = None) -> None:
+        """Store ``cell`` under ``key`` atomically.
+
+        ``sidecar`` (normally the key payload) is written next to the
+        entry as pretty JSON so a human can tell what a hash holds.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(cell, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if sidecar is not None:
+            side = path.with_suffix(".json")
+            side.write_text(
+                json.dumps(_canonical(sidecar), sort_keys=True, indent=2)
+                + "\n",
+                encoding="utf-8",
+            )
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob("*/*.pkl"):
+            path.unlink()
+            side = path.with_suffix(".json")
+            if side.exists():
+                side.unlink()
+            removed += 1
+        return removed

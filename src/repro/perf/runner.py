@@ -1,0 +1,199 @@
+"""Parallel grid engine: fan evaluation cells out over processes.
+
+Every cell of the paper's evaluation grid — (workload, variant,
+seed) at some scale on some machine configuration — simulates on a
+fresh machine with no shared state, so the grid is embarrassingly
+parallel.  :class:`ParallelRunner` runs cells through a
+``ProcessPoolExecutor``, preserves submission order in its results,
+consults an optional :class:`~repro.perf.cache.ResultCache` before
+simulating, and publishes progress/cache counters through an
+:class:`~repro.obs.metrics.MetricsRegistry`:
+
+``perf.cells``        cells requested
+``perf.cache_hits``   cells served from the on-disk cache
+``perf.cache_misses`` cells that had to simulate (cache attached)
+``perf.simulated``    cells actually simulated
+``perf.workers``      (gauge) configured worker count
+
+Determinism: a cell's result depends only on its :class:`CellSpec`
+content — the seed rides in the spec, workers receive the spec by
+value, and results are reordered to submission order — so a parallel
+run is byte-identical to a serial one, whatever the worker count or
+completion order (asserted by ``tests/perf/test_runner.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import Cell, run_cell
+from repro.common.config import HTMConfig, SystemConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.cache import ResultCache, cell_key
+from repro.workloads.base import SyntheticTxnWorkload, TxnWorkloadSpec
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Everything that determines one grid cell's result.
+
+    Carries the workload *spec* (a frozen value object), not the
+    generator, so the whole thing pickles cheaply to workers and
+    hashes stably for the cache key.
+    """
+
+    workload: TxnWorkloadSpec
+    variant: str
+    seed: int = 0
+    scale: float = 1.0
+    threads: Optional[int] = None
+    system: SystemConfig = field(default_factory=SystemConfig)
+    htm: HTMConfig = field(default_factory=HTMConfig)
+
+    def payload(self) -> Dict[str, object]:
+        """Key material for :func:`repro.perf.cache.cell_key`."""
+        return {
+            "workload": self.workload,
+            "variant": self.variant,
+            "seed": self.seed,
+            "scale": self.scale,
+            "threads": self.threads,
+            "system": self.system,
+            "htm": self.htm,
+        }
+
+
+def grid_specs(workloads: Iterable[SyntheticTxnWorkload],
+               variants: Sequence[str],
+               seeds: Sequence[int] = (0,),
+               scale: float = 1.0,
+               threads: Optional[int] = None,
+               system: Optional[SystemConfig] = None,
+               htm: Optional[HTMConfig] = None) -> List[CellSpec]:
+    """The full cross product, in deterministic (wl, seed, variant) order."""
+    sys_cfg = system or SystemConfig()
+    htm_cfg = htm or HTMConfig()
+    return [
+        CellSpec(wl.spec, variant, seed=seed, scale=scale, threads=threads,
+                 system=sys_cfg, htm=htm_cfg)
+        for wl in workloads
+        for seed in seeds
+        for variant in variants
+    ]
+
+
+def _simulate(spec: CellSpec) -> Tuple[Cell, float]:
+    """Worker body: run one cell, returning (cell, wall_seconds)."""
+    start = perf_counter()
+    workload = SyntheticTxnWorkload(spec.workload)
+    cell = run_cell(workload, spec.variant, scale=spec.scale,
+                    seed=spec.seed, threads=spec.threads,
+                    system=spec.system, htm_config=spec.htm)
+    return cell, perf_counter() - start
+
+
+class ParallelRunner:
+    """Runs grid cells, optionally in parallel and/or cached.
+
+    ``workers <= 1`` executes inline (no pool, no pickling) — the
+    reference serial path.  ``workers > 1`` keeps a lazily created
+    process pool alive across calls; use as a context manager or call
+    :meth:`close` to reap it.
+    """
+
+    def __init__(self, workers: int = 0,
+                 cache: Optional[ResultCache] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.gauge("perf.workers").set(workers)
+        #: Wall seconds per cell of the most recent :meth:`run_cells`
+        #: call (None where the cache answered); for bench harnesses.
+        self.last_wall_seconds: List[Optional[float]] = []
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+
+    def run_cell(self, spec: CellSpec) -> Cell:
+        """Run (or fetch) a single cell."""
+        return self.run_cells([spec])[0]
+
+    def run_cells(self, specs: Sequence[CellSpec]) -> List[Cell]:
+        """Run every spec; results align with ``specs`` by index."""
+        results: List[Optional[Cell]] = [None] * len(specs)
+        walls: List[Optional[float]] = [None] * len(specs)
+        self.metrics.counter("perf.cells").inc(len(specs))
+        pending: List[Tuple[int, CellSpec, Optional[str]]] = []
+        for index, spec in enumerate(specs):
+            key = None
+            if self.cache is not None:
+                key = cell_key(spec)
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self.metrics.counter("perf.cache_hits").inc()
+                    results[index] = hit
+                    continue
+                self.metrics.counter("perf.cache_misses").inc()
+            pending.append((index, spec, key))
+        if pending:
+            if self.workers > 1:
+                self._run_pooled(pending, results, walls)
+            else:
+                for index, spec, key in pending:
+                    cell, wall = _simulate(spec)
+                    self._finish(index, spec, key, cell, wall,
+                                 results, walls)
+        self.last_wall_seconds = walls
+        return results  # type: ignore[return-value]
+
+    def _run_pooled(self, pending, results, walls) -> None:
+        pool = self._ensure_pool()
+        futures = {
+            pool.submit(_simulate, spec): (index, spec, key)
+            for index, spec, key in pending
+        }
+        waiting = set(futures)
+        while waiting:
+            done, waiting = wait(waiting, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, spec, key = futures[future]
+                cell, wall = future.result()
+                self._finish(index, spec, key, cell, wall, results, walls)
+
+    def _finish(self, index, spec, key, cell, wall, results, walls) -> None:
+        self.metrics.counter("perf.simulated").inc()
+        results[index] = cell
+        walls[index] = wall
+        if self.cache is not None and key is not None:
+            self.cache.put(key, cell, sidecar=spec.payload())
+
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def default_workers() -> int:
+    """Worker count for ``--workers 0``: one per available CPU."""
+    return os.cpu_count() or 1

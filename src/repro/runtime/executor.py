@@ -135,8 +135,25 @@ class Executor:
         # clocks run ahead.
         self._begin_seq = 0
         self._history = HistoryValidator(enabled=track_history)
+        self._record_history = self._history.enabled
         self._commit_budget = config.max_commits
         self._audit = config.audit
+        # Opcode dispatch table: the quantum loop indexes this list
+        # instead of walking an if/elif chain.  Every handler takes
+        # (thread, arg) and returns None, except _lock, which returns
+        # False when the thread blocked and must yield its quantum.
+        table = [self._op_unknown] * (OP_SYSCALL + 1)
+        table[OP_BEGIN] = self._begin
+        table[OP_COMMIT] = self._commit
+        table[OP_READ] = self._txn_read
+        table[OP_WRITE] = self._txn_write
+        table[OP_NT_READ] = self._nt_read
+        table[OP_NT_WRITE] = self._nt_write
+        table[OP_COMPUTE] = self._op_compute
+        table[OP_LOCK] = self._lock
+        table[OP_UNLOCK] = self._unlock
+        table[OP_SYSCALL] = self._op_compute
+        self._dispatch = table
 
     # ------------------------------------------------------------------
 
@@ -150,6 +167,9 @@ class Executor:
         stats.makespan = max((t.clock for t in self._threads), default=0)
         stats.machine = self._htm.stats.snapshot()
         stats.machine["_threads"] = len(self._threads)
+        stats.machine["_trace_ops"] = sum(
+            len(t.ops) for t in self._threads
+        )
         if self._audit:
             self._htm.audit()
         self._history.finish()
@@ -182,6 +202,12 @@ class Executor:
         ncores = self._htm.mem.config.num_cores
         core_free = [0] * ncores
         core_thread: List[Optional[int]] = [None] * ncores
+        # Min-heap of (free_at, core) so finding the earliest-free core
+        # is O(log cores) per dispatch instead of an O(cores) min().
+        # Entries go stale when a core's free time advances; they are
+        # lazily popped when they surface.  Ties break on the lower
+        # core id, exactly like min() over range(ncores).
+        free_heap: List[tuple] = [(0, c) for c in range(ncores)]
         heap = [(t.clock, t.tid) for t in self._threads if not t.done]
         heapq.heapify(heap)
         while heap:
@@ -191,7 +217,9 @@ class Executor:
                 continue
             # Affinity: keep the previous core unless another frees
             # strictly earlier (avoids gratuitous switches).
-            best = min(range(ncores), key=lambda c: core_free[c])
+            while free_heap[0][0] != core_free[free_heap[0][1]]:
+                heapq.heappop(free_heap)
+            best = free_heap[0][1]
             core = thread.core
             if (core_thread[core] != thread.tid
                     or core_free[core] > core_free[best]):
@@ -217,53 +245,99 @@ class Executor:
             while not thread.done and thread.clock < deadline:
                 self._run_quantum(thread)
             core_free[core] = thread.clock
+            heapq.heappush(free_heap, (thread.clock, core))
             if not thread.done:
                 heapq.heappush(heap, (thread.clock, thread.tid))
 
     # ------------------------------------------------------------------
 
     def _run_quantum(self, thread: _Thread) -> None:
+        """Interpret ops until the quantum expires or the thread yields.
+
+        This is the simulator's innermost loop; it is written for the
+        CPython interpreter, not for elegance.  Loop-invariant lookups
+        (bus enablement, the op list and its length, the dispatch
+        table) are hoisted into locals, the doom check is inlined
+        instead of going through the ``_Thread.doomed`` property, and
+        the dominant COMPUTE opcode short-circuits before the table,
+        and runs of consecutive COMPUTEs retire in an inner loop that
+        skips the doom check (nothing can doom this thread while only
+        it advances time).
+        """
         deadline = thread.clock + self._quantum
         bus = self._bus
-        while not thread.done and thread.clock < deadline:
-            if bus.enabled:
+        bus_enabled = bus.enabled
+        ops = thread.ops
+        nops = len(ops)
+        dispatch = self._dispatch
+        op_compute = OP_COMPUTE
+        # clock and pc live in locals; they sync to the thread object
+        # only around handler calls (handlers read and mutate them).
+        # COMPUTE — the single most common opcode — never leaves this
+        # frame: it touches only locals plus the doom-check reads.
+        clock = thread.clock
+        pc = thread.pc
+        while clock < deadline:
+            if thread.in_txn and thread.doomed_epoch == thread.txn_epoch:
+                thread.clock = clock
+                thread.pc = pc
+                if bus_enabled:
+                    bus.now = clock
+                self._abort(thread, AbortCause.CM_KILL)
+                clock = thread.clock
+                pc = thread.pc
+                continue
+            if pc >= nops:
+                thread.clock = clock
+                thread.pc = pc
+                thread.done = True
+                return
+            opcode, arg = ops[pc]
+            if opcode == op_compute:
+                # Consume the whole run of consecutive COMPUTE ops in
+                # one tight loop: no other thread executes while this
+                # one advances its clock, so the doom state checked
+                # above cannot change until the next handler call.
+                clock += arg
+                pc += 1
+                while clock < deadline and pc < nops:
+                    opcode, arg = ops[pc]
+                    if opcode != op_compute:
+                        break
+                    clock += arg
+                    pc += 1
+                continue
+            thread.clock = clock
+            thread.pc = pc
+            if bus_enabled:
                 # Machine-level emissions (tokens, conflicts,
                 # coherence) have no clock of their own: give the bus
                 # the running thread's clock as the default stamp.
-                bus.now = thread.clock
-            if thread.doomed:
-                self._abort(thread, AbortCause.CM_KILL)
-                continue
-            if thread.pc >= len(thread.ops):
-                thread.done = True
+                bus.now = clock
+            if dispatch[opcode](thread, arg) is False:
+                return  # blocked on a lock; re-queued with a later clock
+            clock = thread.clock
+            pc = thread.pc
+            if thread.done:
                 return
-            opcode, arg = thread.ops[thread.pc]
-            if opcode == OP_COMPUTE or opcode == OP_SYSCALL:
-                thread.clock += arg
-                thread.pc += 1
-            elif opcode == OP_READ:
-                self._txn_access(thread, arg, is_write=False)
-            elif opcode == OP_WRITE:
-                self._txn_access(thread, arg, is_write=True)
-            elif opcode == OP_BEGIN:
-                self._begin(thread)
-            elif opcode == OP_COMMIT:
-                self._commit(thread)
-            elif opcode == OP_NT_READ:
-                self._nontxn_access(thread, arg, is_write=False)
-            elif opcode == OP_NT_WRITE:
-                self._nontxn_access(thread, arg, is_write=True)
-            elif opcode == OP_LOCK:
-                if not self._lock(thread, arg):
-                    return  # blocked; re-queued with a later clock
-            elif opcode == OP_UNLOCK:
-                self._unlock(thread, arg)
-            else:  # pragma: no cover - validate_trace prevents this
-                raise SimulationError(f"unknown opcode {opcode}")
+        thread.clock = clock
+        thread.pc = pc
+
+    def _op_compute(self, thread: _Thread, cycles: int) -> None:
+        """COMPUTE/SYSCALL: advance the local clock (table fallback)."""
+        thread.clock += cycles
+        thread.pc += 1
+
+    def _op_unknown(self, thread: _Thread, arg: int) -> None:
+        # pragma-free guard: validate_trace prevents this for any
+        # trace that went through the public entry points.
+        raise SimulationError(
+            f"unknown opcode in thread {thread.tid} at pc {thread.pc}"
+        )
 
     # -- transactions -----------------------------------------------------
 
-    def _begin(self, thread: _Thread) -> None:
+    def _begin(self, thread: _Thread, _arg: int = 0) -> None:
         if thread.in_txn:
             # Flat (closed) nesting: an inner BEGIN is subsumed by
             # the enclosing transaction; only a counter moves.
@@ -287,7 +361,7 @@ class Executor:
                            attempt=thread.attempts + 1)
         thread.pc += 1
 
-    def _commit(self, thread: _Thread) -> None:
+    def _commit(self, thread: _Thread, _arg: int = 0) -> None:
         if thread.nesting > 1:
             # Closing an inner flat-nested transaction: no machine
             # action until the outermost commit.
@@ -328,11 +402,8 @@ class Executor:
         if self._commit_budget is not None:
             self._commit_budget -= 1
             if self._commit_budget <= 0:
-                for other in self._threads:
-                    if other.in_txn and other.tid != tid:
-                        # Let live transactions finish; just stop
-                        # starting new work.
-                        continue
+                # Live transactions get to finish; threads between
+                # transactions just stop starting new work.
                 self._truncate_after_budget()
 
     def _truncate_after_budget(self) -> None:
@@ -367,18 +438,26 @@ class Executor:
                            backoff=backoff)
         thread.pc = thread.begin_pc
 
-    def _txn_access(self, thread: _Thread, block: int,
-                    is_write: bool) -> None:
-        tid, core = thread.tid, thread.core
+    def _txn_read(self, thread: _Thread, block: int) -> None:
         grant_point = thread.clock  # isolation starts at the grant
-        if is_write:
-            outcome = self._htm.write(core, tid, block)
-        else:
-            outcome = self._htm.read(core, tid, block)
+        outcome = self._htm.read(thread.core, thread.tid, block)
         thread.clock += outcome.latency
         if outcome.granted:
             thread.stalls = 0
-            self._history.access(tid, block, is_write, grant_point)
+            if self._record_history:
+                self._history.access(thread.tid, block, False, grant_point)
+            thread.pc += 1
+            return
+        self._resolve_conflict(thread, outcome.conflict)
+
+    def _txn_write(self, thread: _Thread, block: int) -> None:
+        grant_point = thread.clock  # isolation starts at the grant
+        outcome = self._htm.write(thread.core, thread.tid, block)
+        thread.clock += outcome.latency
+        if outcome.granted:
+            thread.stalls = 0
+            if self._record_history:
+                self._history.access(thread.tid, block, True, grant_point)
             thread.pc += 1
             return
         self._resolve_conflict(thread, outcome.conflict)
@@ -436,6 +515,12 @@ class Executor:
                            tid=thread.tid, core=thread.core,
                            block=info.block, delay=delay, winning=winning,
                            victims=list(decision.victims))
+
+    def _nt_read(self, thread: _Thread, block: int) -> None:
+        self._nontxn_access(thread, block, is_write=False)
+
+    def _nt_write(self, thread: _Thread, block: int) -> None:
+        self._nontxn_access(thread, block, is_write=True)
 
     def _nontxn_access(self, thread: _Thread, block: int,
                        is_write: bool) -> None:

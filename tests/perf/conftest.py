@@ -1,0 +1,30 @@
+"""Fixtures for the perf-subsystem tests: a tiny, fast grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.base import SetSizeModel, SyntheticTxnWorkload, TxnWorkloadSpec
+
+#: A deliberately small contended workload: runs in well under a
+#: second per cell, but still commits, conflicts, and aborts.
+TINY_SPEC = TxnWorkloadSpec(
+    name="Tiny",
+    total_txns=48,
+    read_model=SetSizeModel(base_mean=4.0, maximum=12),
+    write_model=SetSizeModel(base_mean=2.0, maximum=6),
+    tail_prob=0.0,
+    region_blocks=1 << 10,
+    hot_blocks=16,
+    hot_prob=0.2,
+    rmw_fraction=0.5,
+    compute_per_access=2,
+    inter_txn_compute=20,
+    nontxn_accesses=2,
+    threads=4,
+)
+
+
+@pytest.fixture
+def tiny_workload() -> SyntheticTxnWorkload:
+    return SyntheticTxnWorkload(TINY_SPEC)

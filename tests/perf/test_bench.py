@@ -1,0 +1,104 @@
+"""The bench harness: legacy-loop fidelity and the JSON artifact."""
+
+from __future__ import annotations
+
+import json
+
+from repro.common.config import HTMConfig, RunConfig, SystemConfig
+from repro.coherence.protocol import MemorySystem
+from repro.htm import make_htm
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    bench_specs,
+    micro_trace,
+    run_bench,
+)
+from repro.perf.legacy import LegacyExecutor
+from repro.runtime.executor import Executor
+from repro.workloads.base import SyntheticTxnWorkload
+
+from tests.perf.conftest import TINY_SPEC
+
+
+def _run(executor_cls, trace, seed=0):
+    system = SystemConfig()
+    htm_cfg = HTMConfig()
+    machine = make_htm("TokenTM", MemorySystem(system), htm_cfg)
+    executor = executor_cls(
+        machine, trace, RunConfig(system=system, htm=htm_cfg, seed=seed),
+        validate=False, track_history=False,
+    )
+    return executor.run().stats
+
+
+def test_micro_trace_is_conflict_free():
+    stats = _run(Executor, micro_trace(txns=8))
+    assert stats.aborts == 0
+    assert stats.commits == 4 * 8
+
+
+def test_legacy_loop_matches_optimized_on_micro_trace():
+    trace = micro_trace(txns=8)
+    assert _run(LegacyExecutor, trace).snapshot() == \
+        _run(Executor, trace).snapshot()
+
+
+def test_legacy_loop_matches_optimized_on_contended_trace():
+    """The faithful pre-PR loop agrees even through aborts/retries."""
+    trace = SyntheticTxnWorkload(TINY_SPEC).generate(seed=11, scale=1.0)
+    assert _run(LegacyExecutor, trace, seed=11).snapshot() == \
+        _run(Executor, trace, seed=11).snapshot()
+
+
+def test_bench_specs_quick_subset():
+    specs = bench_specs(quick=True)
+    assert {s.workload.name for s in specs} == {"Cholesky", "Vacation-Low"}
+    assert {s.variant for s in specs} == {"TokenTM", "LogTM-SE_4xH3"}
+
+
+def test_run_bench_writes_schema_documented_json(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    payload = run_bench(
+        out=str(out), quick=True, workload_names=("Cholesky",),
+        variants=("TokenTM",), scale_factor=0.5,
+        cache_dir=str(tmp_path / "cache"), micro=False,
+    )
+    on_disk = json.loads(out.read_text())
+    assert on_disk == payload
+    assert on_disk["schema"] == BENCH_SCHEMA
+    cells = on_disk["grid"]["cells"]
+    assert len(cells) == 1
+    cell = cells[0]
+    assert cell["workload"] == "Cholesky"
+    assert cell["variant"] == "TokenTM"
+    assert cell["trace_ops"] > 0
+    assert cell["wall_seconds"] > 0
+    assert cell["sim_ops_per_sec"] > 0
+    assert cell["cache_hit"] is False
+    assert on_disk["totals"]["trace_ops"] == cell["trace_ops"]
+    assert on_disk["metrics"]["perf.simulated"]["value"] == 1
+    # Second run hits the cache: same stats content, no wall time.
+    rerun = run_bench(
+        out=str(out), quick=True, workload_names=("Cholesky",),
+        variants=("TokenTM",), scale_factor=0.5,
+        cache_dir=str(tmp_path / "cache"), micro=False,
+    )
+    warm = rerun["grid"]["cells"][0]
+    assert warm["cache_hit"] is True
+    assert warm["wall_seconds"] is None
+    assert warm["makespan"] == cell["makespan"]
+    assert rerun["metrics"]["perf.cache_hits"]["value"] == 1
+
+
+def test_run_bench_micro_section(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    payload = run_bench(
+        out=str(out), quick=True, workload_names=("Cholesky",),
+        variants=("TokenTM",), scale_factor=0.25, micro=True,
+        micro_rounds=1,
+    )
+    micro = payload["microbench"]
+    assert micro["trace_ops"] > 0
+    assert micro["legacy_ops_per_sec"] > 0
+    assert micro["optimized_ops_per_sec"] > 0
+    assert micro["speedup"] > 0

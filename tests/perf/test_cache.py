@@ -1,0 +1,74 @@
+"""Cache keys and the on-disk result store."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.config import HTMConfig, SystemConfig
+from repro.perf.cache import CACHE_SCHEMA, ResultCache, cell_key
+from repro.perf.runner import CellSpec
+
+from tests.perf.conftest import TINY_SPEC
+
+
+def _spec(**overrides) -> CellSpec:
+    base = dict(workload=TINY_SPEC, variant="TokenTM", seed=1, scale=0.5)
+    base.update(overrides)
+    return CellSpec(**base)
+
+
+def test_cell_key_is_stable():
+    assert cell_key(_spec()) == cell_key(_spec())
+
+
+def test_cell_key_covers_every_result_knob():
+    base = cell_key(_spec())
+    assert cell_key(_spec(variant="LogTM-SE_Perf")) != base
+    assert cell_key(_spec(seed=2)) != base
+    assert cell_key(_spec(scale=0.25)) != base
+    assert cell_key(_spec(threads=8)) != base
+    small = SystemConfig(num_cores=16, clusters=4, cores_per_cluster=4)
+    assert cell_key(_spec(system=small)) != base
+    assert cell_key(_spec(htm=HTMConfig(tokens_per_block=64))) != base
+    smaller = dataclasses.replace(TINY_SPEC, total_txns=24)
+    assert cell_key(_spec(workload=smaller)) != base
+
+
+def test_cell_key_folds_in_schema_version(monkeypatch):
+    base = cell_key(_spec())
+    monkeypatch.setattr("repro.perf.cache.CACHE_SCHEMA", CACHE_SCHEMA + 1)
+    assert cell_key(_spec()) != base
+
+
+def test_cache_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cell_key(_spec())
+    assert cache.get(key) is None
+    assert key not in cache
+    cache.put(key, {"makespan": 123}, sidecar=_spec().payload())
+    assert key in cache
+    assert len(cache) == 1
+    assert cache.get(key) == {"makespan": 123}
+    # The sidecar is human-readable JSON next to the entry.
+    sidecars = list(tmp_path.glob("*/*.json"))
+    assert len(sidecars) == 1
+    assert '"variant": "TokenTM"' in sidecars[0].read_text()
+
+
+def test_cache_truncated_entry_reads_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cell_key(_spec())
+    cache.put(key, {"ok": True})
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.write_bytes(b"")
+    assert cache.get(key) is None
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    for seed in range(3):
+        cache.put(cell_key(_spec(seed=seed)), seed, sidecar={"seed": seed})
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0
+    assert not list(tmp_path.glob("*/*.json"))
