@@ -69,15 +69,20 @@ def run_trace(trace: WorkloadTrace, variant: str,
               seed: int = 0,
               audit: bool = False,
               quantum: int = 200,
-              bus: Optional[EventBus] = None) -> RunStats:
+              bus: Optional[EventBus] = None,
+              fast_path: bool = True) -> RunStats:
     """Execute an already-generated trace on a fresh machine.
 
     Pass an enabled :class:`~repro.obs.events.EventBus` to trace the
     run; the default null bus makes instrumentation free.
+    ``fast_path=False`` disables the memory-system access filters
+    (``--no-fastpath``); results are identical either way.
     """
     sys_cfg = system or SystemConfig()
     cfg = htm_config or HTMConfig()
-    machine = make_htm(variant, MemorySystem(sys_cfg, bus=bus), cfg)
+    machine = make_htm(variant,
+                       MemorySystem(sys_cfg, bus=bus, fast_path=fast_path),
+                       cfg)
     run_cfg = RunConfig(system=sys_cfg, htm=cfg, seed=seed, audit=audit)
     executor = Executor(machine, trace, run_cfg, quantum=quantum,
                         validate=False, track_history=False)
@@ -89,13 +94,15 @@ def run_cell(workload: SyntheticTxnWorkload, variant: str,
              threads: Optional[int] = None,
              system: Optional[SystemConfig] = None,
              htm_config: Optional[HTMConfig] = None,
-             bus: Optional[EventBus] = None) -> Cell:
+             bus: Optional[EventBus] = None,
+             fast_path: bool = True) -> Cell:
     """Generate the workload at ``scale`` and run it on ``variant``."""
     sys_cfg = system or SystemConfig()
     nthreads = threads if threads is not None else sys_cfg.num_cores
     trace = workload.generate(seed=seed, scale=scale, threads=nthreads)
     stats = run_trace(trace, variant, system=sys_cfg,
-                      htm_config=htm_config, seed=seed, bus=bus)
+                      htm_config=htm_config, seed=seed, bus=bus,
+                      fast_path=fast_path)
     return Cell(trace.name, variant, seed, stats)
 
 
@@ -105,7 +112,8 @@ def run_variants(workload: SyntheticTxnWorkload,
                  threads: Optional[int] = None,
                  system: Optional[SystemConfig] = None,
                  htm_config: Optional[HTMConfig] = None,
-                 runner=None) -> Dict[str, Cell]:
+                 runner=None,
+                 fast_path: bool = True) -> Dict[str, Cell]:
     """Run one workload across several variants on identical traces.
 
     ``runner`` (a :class:`repro.perf.runner.ParallelRunner`) fans the
@@ -117,11 +125,12 @@ def run_variants(workload: SyntheticTxnWorkload,
 
         specs = grid_specs([workload], tuple(variants), seeds=(seed,),
                            scale=scale, threads=threads, system=system,
-                           htm=htm_config)
+                           htm=htm_config, fast_path=fast_path)
         return dict(zip(variants, runner.run_cells(specs)))
     return {
         v: run_cell(workload, v, scale=scale, seed=seed, threads=threads,
-                    system=system, htm_config=htm_config)
+                    system=system, htm_config=htm_config,
+                    fast_path=fast_path)
         for v in variants
     }
 
@@ -145,7 +154,8 @@ def figure_speedups(workload: SyntheticTxnWorkload,
                     threads: Optional[int] = None,
                     system: Optional[SystemConfig] = None,
                     htm_config: Optional[HTMConfig] = None,
-                    runner=None) -> SpeedupSeries:
+                    runner=None,
+                    fast_path: bool = True) -> SpeedupSeries:
     """Speedup of each variant normalized to ``baseline``.
 
     ``runs`` > 1 produces 95% confidence intervals from perturbed
@@ -163,6 +173,7 @@ def figure_speedups(workload: SyntheticTxnWorkload,
         flat = runner.run_cells(grid_specs(
             [workload], tuple(variants), seeds=tuple(seeds), scale=scale,
             threads=threads, system=system, htm=htm_config,
+            fast_path=fast_path,
         ))
         nv = len(variants)
         rounds = [dict(zip(variants, flat[i * nv:(i + 1) * nv]))
@@ -172,7 +183,8 @@ def figure_speedups(workload: SyntheticTxnWorkload,
     for i, run_seed in enumerate(seeds):
         cells = rounds[i] if rounds is not None else run_variants(
             workload, variants, scale=scale, seed=run_seed,
-            threads=threads, system=system, htm_config=htm_config)
+            threads=threads, system=system, htm_config=htm_config,
+            fast_path=fast_path)
         series.cells.extend(cells.values())
         base = cells[baseline].stats.makespan
         for variant, cell in cells.items():

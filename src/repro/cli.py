@@ -119,7 +119,7 @@ def cmd_run(args) -> int:
         report = TraceReport()
         bus.attach(report)
     cell = run_cell(workload, args.variant, scale=scale, seed=args.seed,
-                    bus=bus)
+                    bus=bus, fast_path=not args.no_fastpath)
     if bus is not None:
         _finish_trace(bus, jsonl, chrome, args)
     snapshot = cell.stats.snapshot()
@@ -227,6 +227,7 @@ def _figure(args, variants, title: str) -> int:
             series.append(figure_speedups(
                 wl, variants=variants, scale=scale, runs=args.runs,
                 seed=args.seed, runner=runner,
+                fast_path=not args.no_fastpath,
             ))
     finally:
         if runner is not None:
@@ -268,9 +269,22 @@ def cmd_bench(args) -> int:
         scale_factor=args.scale_factor, cache_dir=args.cache_dir,
         compare_serial=args.compare_serial, micro=not args.no_micro,
         micro_rounds=args.micro_rounds,
+        membench=not args.no_membench,
+        fast_path=not args.no_fastpath,
     )
     print(format_bench_summary(payload))
     print(f"wrote {args.out}")
+    if args.baseline:
+        from repro.perf.bench import check_regression, load_bench
+
+        failures = check_regression(payload, load_bench(args.baseline),
+                                    tolerance=args.regression_tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.baseline} "
+              f"(tolerance {args.regression_tolerance:.0%})")
     return 0
 
 
@@ -297,6 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--chrome-out", metavar="FILE", default=None,
                        help="write a Chrome trace_event JSON "
                             "(load in Perfetto / chrome://tracing)")
+    run_p.add_argument("--no-fastpath", action="store_true",
+                       help="disable the memory-system access filters "
+                            "(results are identical; for verification)")
     run_p.set_defaults(func=cmd_run)
 
     trace_p = sub.add_parser(
@@ -341,6 +358,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "-1 = one per CPU)")
         p.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="reuse finished cells from this cache")
+        p.add_argument("--no-fastpath", action="store_true",
+                       help="disable the memory-system access filters "
+                            "(results are identical; for verification)")
         p.set_defaults(func=func)
 
     bench_p = sub.add_parser(
@@ -365,6 +385,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--no-micro", action="store_true",
                          help="skip the interpreter microbenchmark")
     bench_p.add_argument("--micro-rounds", type=int, default=3)
+    bench_p.add_argument("--no-membench", action="store_true",
+                         help="skip the memory-stack microbenchmark")
+    bench_p.add_argument("--no-fastpath", action="store_true",
+                         help="run the grid with the access filters "
+                              "disabled (results are identical)")
+    bench_p.add_argument("--baseline", metavar="FILE", default=None,
+                         help="compare against a committed "
+                              "BENCH_perf.json; exit 1 on regression")
+    bench_p.add_argument("--regression-tolerance", type=float, default=0.3,
+                         help="allowed fractional speedup drop vs the "
+                              "baseline (default 0.3)")
     bench_p.set_defaults(func=cmd_bench)
 
     return parser

@@ -80,6 +80,17 @@ class L1Cache:
             self._tick += 1
             line.lru = self._tick
 
+    def touch_line(self, line: CacheLine) -> None:
+        """Refresh LRU recency of a line the caller already holds.
+
+        The hot path resolves the line once (lookup or hit filter) and
+        must not pay a second tag match just to bump recency; the tick
+        sequence is identical to :meth:`touch`, so replacement victims
+        are unchanged.
+        """
+        self._tick += 1
+        line.lru = self._tick
+
     def victim_for(self, block: int) -> Optional[CacheLine]:
         """Pick the line to evict to make room for ``block``.
 

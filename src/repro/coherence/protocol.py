@@ -120,12 +120,51 @@ class ProtocolStats:
         return dict(self.__dict__)
 
 
+#: Slots per core in the direct-mapped hit filter.  512 lines covers
+#: the whole L1 of the paper's base system; collisions only cost a
+#: filter miss (the slow path re-installs), never correctness.
+FILTER_SLOTS = 512
+_FILTER_MASK = FILTER_SLOTS - 1
+
+# Filter entry layout: [block, line, writable, interned AccessResult].
+# Public so the HTM layer can peek at the line's metastate between
+# fast_entry() and fast_hit().
+F_BLOCK, F_LINE, F_WRITABLE, F_RESULT = 0, 1, 2, 3
+
+
+class FastPathStats:
+    """Fast-path telemetry, deliberately *outside* :class:`ProtocolStats`.
+
+    These counters describe how the simulator computed a result, not
+    what the simulated machine did, so they must not contaminate the
+    snapshots that the equivalence contract compares (fast path on vs
+    off produces identical ``ProtocolStats``).  Publish them through
+    :func:`repro.obs.metrics.publish_fastpath` as ``perf.fastpath.*``.
+    """
+
+    __slots__ = ("coherence_read_hits", "coherence_write_hits",
+                 "installs", "invalidations",
+                 "htm_read_hits", "htm_write_hits")
+
+    def __init__(self):
+        self.coherence_read_hits = 0
+        self.coherence_write_hits = 0
+        self.installs = 0
+        self.invalidations = 0
+        self.htm_read_hits = 0
+        self.htm_write_hits = 0
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
 class MemorySystem:
     """Functional MESI CMP memory system with latency accounting."""
 
     def __init__(self, config: SystemConfig,
                  listener: Optional[CoherenceListener] = None,
-                 bus: Optional[EventBus] = None):
+                 bus: Optional[EventBus] = None,
+                 fast_path: bool = True):
         self._config = config
         self._topology = TiledTopology(config)
         # Hot-path locals: the latency model and the bank-interleave
@@ -145,6 +184,18 @@ class MemorySystem:
         self._l2_present: Set[int] = set()
         self._zero_filled: List[Tuple[int, int]] = []
         self.stats = ProtocolStats()
+        #: The per-core direct-mapped hit filter.  Each entry memoizes
+        #: a stable L1 hit — a (block, line) pair whose next access
+        #: needs no directory action — so ``access`` can skip the tag
+        #: walk and result allocation entirely.  Entries are dropped at
+        #: every point a line mutates (install/remove/invalidate/
+        #: downgrade/evict/upgrade), which keeps the filter a pure
+        #: memoization: simulated outcomes are identical either way.
+        self._fast_path = fast_path
+        self._filters: List[List[Optional[list]]] = [
+            [None] * FILTER_SLOTS for _ in range(config.num_cores)
+        ]
+        self.fastpath = FastPathStats()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -157,6 +208,11 @@ class MemorySystem:
     @property
     def topology(self) -> TiledTopology:
         return self._topology
+
+    @property
+    def fast_path_enabled(self) -> bool:
+        """Whether the hit filter is active (``--no-fastpath`` clears it)."""
+        return self._fast_path
 
     @property
     def directory(self) -> Directory:
@@ -234,6 +290,12 @@ class MemorySystem:
         (evictions, invalidations, downgrades) have been applied and
         reported to the listener when this returns.
         """
+        if self._fast_path:
+            entry = self._filters[core][block & _FILTER_MASK]
+            if (entry is not None and entry[F_BLOCK] == block
+                    and (not is_write or entry[F_WRITABLE])):
+                return self.fast_hit(core, entry, is_write)
+
         if is_write:
             self.stats.writes += 1
         else:
@@ -245,18 +307,95 @@ class MemorySystem:
             return self._access_hit(core, cache, line, block, is_write)
         return self._access_miss(core, cache, block, is_write)
 
+    # ------------------------------------------------------------------
+    # The hit filter
+    # ------------------------------------------------------------------
+    #
+    # A filter entry exists only while *no* directory action can be
+    # needed by the next access of that kind: any valid state for
+    # reads, M (or E, with the silent E->M fold applied here) for
+    # writes.  Every line mutation drops the entry, so a present entry
+    # is proof the slow path would have produced exactly the interned
+    # result.
+
+    def fast_entry(self, core: int, block: int,
+                   is_write: bool) -> Optional[list]:
+        """Look up the hit filter without side effects.
+
+        Returns the entry if the access is filterable, else None.  The
+        HTM layer uses this to *peek* (it must still check metastate
+        before committing), then calls :meth:`fast_hit` to commit.
+        """
+        if not self._fast_path:
+            return None
+        entry = self._filters[core][block & _FILTER_MASK]
+        if (entry is not None and entry[F_BLOCK] == block
+                and (not is_write or entry[F_WRITABLE])):
+            return entry
+        return None
+
+    def fast_hit(self, core: int, entry: list,
+                 is_write: bool) -> AccessResult:
+        """Commit a filtered access: bump stats, recency, fold E->M.
+
+        Performs exactly the bookkeeping the slow path's pure-hit
+        branch would (counter bumps, one LRU tick, silent E->M on
+        write) and returns the entry's interned result.
+        """
+        stats = self.stats
+        fp = self.fastpath
+        line = entry[F_LINE]
+        if is_write:
+            stats.writes += 1
+            fp.coherence_write_hits += 1
+            if line.state is not MESI.MODIFIED:
+                # Silent E->M upgrade, same as the slow hit path.
+                line.state = MESI.MODIFIED
+        else:
+            stats.reads += 1
+            fp.coherence_read_hits += 1
+        stats.l1_hits += 1
+        self._caches[core].touch_line(line)
+        return entry[F_RESULT]
+
+    def _filter_install(self, core: int, line: CacheLine,
+                        result: Optional[AccessResult] = None) -> None:
+        """Memoize a stable hit.  Callers guard on ``self._fast_path``."""
+        if result is None:
+            result = AccessResult(self._lat.l1_hit, True, line)
+        block = line.block
+        self._filters[core][block & _FILTER_MASK] = [
+            block, line, line.state is not MESI.SHARED, result,
+        ]
+        self.fastpath.installs += 1
+
+    def _filter_drop(self, core: int, block: int) -> None:
+        """Forget a memoized hit because its line is mutating."""
+        filt = self._filters[core]
+        slot = block & _FILTER_MASK
+        entry = filt[slot]
+        if entry is not None and entry[F_BLOCK] == block:
+            filt[slot] = None
+            self.fastpath.invalidations += 1
+
     def _access_hit(self, core: int, cache: L1Cache, line: CacheLine,
                     block: int, is_write: bool) -> AccessResult:
         lat = self._lat
-        cache.touch(block)
+        cache.touch_line(line)
         if not is_write or line.state is MESI.MODIFIED:
             self.stats.l1_hits += 1
-            return AccessResult(lat.l1_hit, True, line)
+            result = AccessResult(lat.l1_hit, True, line)
+            if self._fast_path:
+                self._filter_install(core, line, result)
+            return result
         if line.state is MESI.EXCLUSIVE:
             # Silent E->M upgrade; directory already records exclusivity.
             line.state = MESI.MODIFIED
             self.stats.l1_hits += 1
-            return AccessResult(lat.l1_hit, True, line)
+            result = AccessResult(lat.l1_hit, True, line)
+            if self._fast_path:
+                self._filter_install(core, line, result)
+            return result
 
         # Write hit on a SHARED line: upgrade via the directory.
         self.stats.upgrades += 1
@@ -265,6 +404,8 @@ class MemorySystem:
         line.state = MESI.MODIFIED
         latency = (lat.l1_hit + self._directory_round_trip(core, block)
                    + self._invalidation_latency(core, block, invalidated))
+        if self._fast_path:
+            self._filter_install(core, line)
         return AccessResult(latency, True, line, upgraded=True,
                             invalidated=invalidated)
 
@@ -290,6 +431,7 @@ class MemorySystem:
                 + topo.core_to_core_latency(owner, core))
             if is_write:
                 owner_line = self._caches[owner].remove(block)
+                self._filter_drop(owner, block)
                 self._listener.on_invalidate(owner, block, owner_line, core)
                 self.stats.invalidations += 1
                 entry.state = DirState.UNCACHED
@@ -299,6 +441,7 @@ class MemorySystem:
                 owner_line = self._caches[owner].lookup(block)
                 assert owner_line is not None
                 owner_line.state = MESI.SHARED
+                self._filter_drop(owner, block)
                 self._directory.record_downgrade(block, core)
                 self._listener.on_downgrade(owner, block, owner_line, core)
                 self.stats.downgrades += 1
@@ -340,6 +483,8 @@ class MemorySystem:
         self._listener.on_fill(core, block, new_line,
                                shared=new_line.state is MESI.SHARED,
                                source=source)
+        if self._fast_path:
+            self._filter_install(core, new_line)
         return AccessResult(latency, False, new_line, filled=True,
                             source=source, invalidated=invalidated,
                             evicted_victim=evicted)
@@ -364,6 +509,7 @@ class MemorySystem:
         """
         cache = self._caches[core]
         line = cache.remove(block)
+        self._filter_drop(core, block)
         self._directory.record_eviction(block, core)
         self._l2_present.add(block)
         self.stats.evictions += 1
@@ -379,6 +525,7 @@ class MemorySystem:
         others = sorted(entry.sharers - {core})
         for other in others:
             other_line = self._caches[other].remove(block)
+            self._filter_drop(other, block)
             entry.sharers.discard(other)
             self.stats.invalidations += 1
             self._listener.on_invalidate(other, block, other_line, core)

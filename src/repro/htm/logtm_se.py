@@ -82,6 +82,10 @@ class LogTMSE(HTM):
             self.name = (f"LogTM-SE_{self._sig_config.num_hashes}xH3")
         self._txns: Dict[int, _SigTxn] = {}
         self._logs: Dict[int, TmLog] = {}
+        # Interned outcome for repeat set-resident accesses: a stable
+        # L1 hit never reaches the directory, so it is never
+        # signature-checked and always granted at L1-hit latency.
+        self._fast_outcome = AccessOutcome(True, mem.config.latency.l1_hit)
         self._sig_seed = 0
         # All transactions share one H3 family per set kind (as the
         # hardware does: the hash wiring is fixed at design time), so
@@ -198,6 +202,15 @@ class LogTMSE(HTM):
     def read(self, core: int, tid: int, block: int) -> AccessOutcome:
         txn = self._txn(tid)
         self.stats.txn_reads += 1
+        # Read-set short-circuit: a filtered hit cannot reach the
+        # directory, so the signature check cannot fire, and the
+        # re-insert the slow path would do is idempotent.
+        if block in txn.read_set:
+            entry = self.mem.fast_entry(core, block, False)
+            if entry is not None:
+                self.mem.fast_hit(core, entry, False)
+                self.mem.fastpath.htm_read_hits += 1
+                return self._fast_outcome
         preview = self.mem.preview(core, block, False)
         if preview.needs_directory:
             conflict = self._check(tid, block, is_write=False)
@@ -214,6 +227,15 @@ class LogTMSE(HTM):
     def write(self, core: int, tid: int, block: int) -> AccessOutcome:
         txn = self._txn(tid)
         self.stats.txn_writes += 1
+        # Write-set short-circuit: the block is already logged (first
+        # write did that) and a writable filtered hit needs neither
+        # the directory nor a fresh log record.
+        if block in txn.write_set:
+            entry = self.mem.fast_entry(core, block, True)
+            if entry is not None:
+                self.mem.fast_hit(core, entry, True)
+                self.mem.fastpath.htm_write_hits += 1
+                return self._fast_outcome
         preview = self.mem.preview(core, block, True)
         if preview.needs_directory:
             conflict = self._check(tid, block, is_write=True)

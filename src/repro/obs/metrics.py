@@ -208,3 +208,20 @@ def registry_from_stats(stats, registry: Optional[MetricsRegistry] = None,
             continue
         reg.counter(f"{prefix}.machine.{name}").inc(int(value))
     return reg
+
+
+def publish_fastpath(snapshot: Dict[str, int],
+                     registry: Optional[MetricsRegistry] = None,
+                     prefix: str = "perf.fastpath") -> MetricsRegistry:
+    """Expose a :class:`~repro.coherence.protocol.FastPathStats`
+    snapshot as ``perf.fastpath.*`` counters.
+
+    The fast-path counters live outside ``ProtocolStats`` (they
+    describe how the simulator computed, not what the simulated
+    machine did), so they reach the observability namespace through
+    this side door rather than through ``registry_from_stats``.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    for name, value in sorted(snapshot.items()):
+        reg.counter(f"{prefix}.{name}").inc(int(value))
+    return reg

@@ -8,13 +8,19 @@ Measures two things and writes both to ``BENCH_perf.json``:
 * **interpreter microbenchmark** — the optimized executor hot loop
   vs. the faithful pre-optimization copy in
   :mod:`repro.perf.legacy`, on an identical conflict-free trace, so
-  the loop speedup is isolated from simulation content.
+  the loop speedup is isolated from simulation content;
+* **memory-stack microbenchmark** — the access fast path (coherence
+  hit filter + HTM read/write-set short-circuit) vs. the unfiltered
+  machine (:func:`repro.perf.legacy.unfiltered_memory_system`) on an
+  identical repeat-access-heavy transaction mix, with an
+  identical-statistics cross-check.
 
-Schema of ``BENCH_perf.json`` (``repro-bench-perf/1``, documented in
+Schema of ``BENCH_perf.json`` (``repro-bench-perf/2``, documented in
 ``docs/performance.md``):
 
 ``schema``        schema identifier string;
-``config``        seed / workers / quick flag / per-workload scales;
+``config``        seed / workers / quick flag / fast_path /
+                  per-workload scales;
 ``grid``          ``wall_seconds`` for the whole grid plus ``cells``,
                   each with workload, variant, seed, scale,
                   trace_ops, wall_seconds (null when the cache
@@ -23,15 +29,25 @@ Schema of ``BENCH_perf.json`` (``repro-bench-perf/1``, documented in
 ``totals``        summed trace_ops / wall and aggregate ops/sec;
 ``microbench``    trace_ops, rounds, legacy/optimized ops-per-sec
                   and their ratio (``speedup``);
+``membench``      accesses, rounds, unfiltered/filtered ops-per-sec,
+                  ``speedup``, ``identical_stats``, and the filtered
+                  run's fast-path counter snapshot (``fastpath``);
 ``parallel``      optional serial-vs-parallel wall comparison
                   (``--compare-serial``) with a ``byte_identical``
                   stats check;
-``metrics``       the runner's metrics-registry snapshot
-                  (cache hits/misses, cells simulated, workers).
+``metrics``       the runner's metrics-registry snapshot (cache
+                  hits/misses, cells simulated, workers) merged with
+                  the membench's ``perf.fastpath.*`` counters.
 
 Simulated-ops/sec counts *trace* operations retired per wall second;
 aborted-and-retried work is not double-counted, so the number is a
 throughput of useful simulation progress.
+
+``--baseline FILE`` compares a fresh payload against a committed one
+via :func:`check_regression`: the *speedup ratios* (optimized/legacy,
+filtered/unfiltered) are compared rather than absolute ops/sec, so
+the check tolerates slow CI machines and only fails when an
+optimization itself eroded.
 """
 
 from __future__ import annotations
@@ -46,8 +62,9 @@ from repro.analysis.experiments import Cell
 from repro.common.config import HTMConfig, RunConfig, SystemConfig
 from repro.coherence.protocol import MemorySystem
 from repro.htm import make_htm
+from repro.obs.metrics import publish_fastpath
 from repro.perf.cache import ResultCache
-from repro.perf.legacy import LegacyExecutor
+from repro.perf.legacy import LegacyExecutor, unfiltered_memory_system
 from repro.perf.runner import CellSpec, ParallelRunner
 from repro.runtime.executor import Executor
 from repro.workloads import tm_workloads
@@ -62,7 +79,9 @@ from repro.workloads.trace import (
 )
 
 #: Identifier written into every BENCH_perf.json.
-BENCH_SCHEMA = "repro-bench-perf/1"
+#: /2: added the memory-stack microbenchmark (``membench``), the
+#: ``config.fast_path`` flag, and ``perf.fastpath.*`` metrics.
+BENCH_SCHEMA = "repro-bench-perf/2"
 
 #: Default output path, at the repo root like the other BENCH files.
 DEFAULT_OUT = "BENCH_perf.json"
@@ -246,13 +265,145 @@ def microbench(seed: int = 2008, rounds: int = 3,
 
 
 # ----------------------------------------------------------------------
+# Memory-stack microbenchmark
+# ----------------------------------------------------------------------
+
+#: Membench shape: a few concurrent large transactions, each looping
+#: over its (private) working set — the paper's repeat-access-heavy
+#: profile that the fast path targets.
+MEM_CORES = 4
+MEM_BLOCKS = 48
+MEM_REPEATS = 40
+
+
+def _membench_run(fast_path: bool, cores: int, blocks: int,
+                  repeats: int):
+    """Drive TokenTM directly with a repeat-access transaction mix.
+
+    Returns ``(wall, accesses, protocol_stats, fastpath_stats)``.
+    The access sequence is identical for both modes, so the protocol
+    statistics must match exactly (asserted by :func:`membench`).
+    """
+    system = SystemConfig()
+    if fast_path:
+        mem = MemorySystem(system)
+    else:
+        mem = unfiltered_memory_system(system)
+    machine = make_htm("TokenTM", mem, HTMConfig())
+    accesses = 0
+    start = time.perf_counter()
+    for core in range(cores):
+        machine.begin(core, core)
+    for _ in range(repeats):
+        for core in range(cores):
+            base = (core + 1) << 12  # disjoint, clear of the log region
+            for b in range(blocks):
+                block = base + b
+                machine.read(core, core, block)
+                accesses += 1
+                if b & 1:
+                    machine.write(core, core, block)
+                    accesses += 1
+    for core in range(cores):
+        machine.commit(core, core)
+    wall = time.perf_counter() - start
+    return wall, accesses, mem.stats.snapshot(), mem.fastpath.snapshot()
+
+
+def membench(rounds: int = 3, cores: int = MEM_CORES,
+             blocks: int = MEM_BLOCKS, repeats: int = MEM_REPEATS) -> Dict:
+    """Filtered vs. unfiltered memory stack on one access mix.
+
+    Fresh machines each round; best-of-``rounds`` wall time on both
+    sides.  Both machines must retire identical protocol statistics
+    (asserted), so the comparison times the simulator's access path,
+    not a behavioural difference.
+    """
+    best_fast = best_slow = float("inf")
+    fast_stats = slow_stats = None
+    fastpath = None
+    accesses = 0
+    for _ in range(max(1, rounds)):
+        wall, accesses, stats, fp = _membench_run(
+            True, cores, blocks, repeats)
+        if wall < best_fast:
+            best_fast, fast_stats, fastpath = wall, stats, fp
+        wall, accesses, stats, _fp = _membench_run(
+            False, cores, blocks, repeats)
+        if wall < best_slow:
+            best_slow, slow_stats = wall, stats
+    if fast_stats != slow_stats:
+        raise AssertionError(
+            "filtered and unfiltered memory systems diverged "
+            "on the membench access mix"
+        )
+    fast_ops = accesses / best_fast
+    slow_ops = accesses / best_slow
+    return {
+        "accesses": accesses,
+        "rounds": rounds,
+        "unfiltered_wall_seconds": best_slow,
+        "filtered_wall_seconds": best_fast,
+        "unfiltered_ops_per_sec": slow_ops,
+        "filtered_ops_per_sec": fast_ops,
+        "speedup": fast_ops / slow_ops,
+        "identical_stats": True,
+        "fastpath": fastpath,
+    }
+
+
+#: Alias for use inside :func:`run_bench`, whose ``membench`` boolean
+#: parameter shadows the function name.
+_membench = membench
+
+
+# ----------------------------------------------------------------------
+# Baseline regression check
+# ----------------------------------------------------------------------
+
+#: Sections whose ``speedup`` ratio the regression check compares.
+REGRESSION_SECTIONS = ("microbench", "membench")
+
+
+def load_bench(path: str) -> Dict:
+    """Read a BENCH_perf.json payload from disk."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def check_regression(fresh: Dict, baseline: Dict,
+                     tolerance: float = 0.3) -> List[str]:
+    """Compare microbenchmark speedups against a committed baseline.
+
+    Ratios (optimized/legacy, filtered/unfiltered) are compared, not
+    absolute ops/sec: both sides of each ratio ran on the same
+    machine in the same process, so wall-clock noise between the CI
+    runner and the machine that produced the baseline cancels out.
+    Returns a list of human-readable failures (empty = pass).
+    """
+    failures = []
+    for section in REGRESSION_SECTIONS:
+        base = (baseline.get(section) or {}).get("speedup")
+        now = (fresh.get(section) or {}).get("speedup")
+        if not base or not now:
+            continue  # section absent on one side: nothing to compare
+        drop = 1.0 - now / base
+        if drop > tolerance:
+            failures.append(
+                f"{section} speedup fell {drop:.0%} "
+                f"({base:.2f}x -> {now:.2f}x, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
 # Top-level harness
 # ----------------------------------------------------------------------
 
 def bench_specs(quick: bool = False, seed: int = 2008,
                 workload_names: Optional[Sequence[str]] = None,
                 variants: Optional[Sequence[str]] = None,
-                scale_factor: float = 1.0) -> List[CellSpec]:
+                scale_factor: float = 1.0,
+                fast_path: bool = True) -> List[CellSpec]:
     """The benchmark grid as cell specs (Figure 5 grid by default)."""
     registry = tm_workloads()
     if workload_names is None:
@@ -268,7 +419,8 @@ def bench_specs(quick: bool = False, seed: int = 2008,
         scale = GRID_SCALES.get(name, 0.02) * scale_factor
         for variant in variants:
             specs.append(CellSpec(registry[name].spec, variant,
-                                  seed=seed, scale=scale))
+                                  seed=seed, scale=scale,
+                                  fast_path=fast_path))
     return specs
 
 
@@ -280,13 +432,26 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
               cache_dir: Optional[str] = None,
               compare_serial: bool = False,
               micro: bool = True,
-              micro_rounds: int = 3) -> Dict:
+              micro_rounds: int = 3,
+              membench: bool = True,
+              fast_path: bool = True) -> Dict:
     """Run the harness and write ``BENCH_perf.json``; returns payload."""
     specs = bench_specs(quick=quick, seed=seed,
                         workload_names=workload_names, variants=variants,
-                        scale_factor=scale_factor)
+                        scale_factor=scale_factor, fast_path=fast_path)
     cache = ResultCache(cache_dir) if cache_dir else None
     grid, metrics = run_grid(specs, workers=workers, cache=cache)
+    mem_payload = None
+    if membench:
+        # Deliberately NOT scaled down under --quick: the whole run
+        # takes well under a second, and the filtered/unfiltered ratio
+        # grows with the repeat count, so a smaller quick-mode mix
+        # would sit too close to the --baseline tolerance.
+        mem_payload = _membench(rounds=micro_rounds)
+        metrics = dict(metrics)
+        metrics.update(
+            publish_fastpath(mem_payload["fastpath"]).snapshot()
+        )
     total_ops = sum(c["trace_ops"] for c in grid["cells"])
     timed_walls = [c["wall_seconds"] for c in grid["cells"]
                    if c["wall_seconds"]]
@@ -298,6 +463,7 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
             "seed": seed,
             "workers": workers,
             "quick": quick,
+            "fast_path": fast_path,
             "cache_dir": cache_dir,
             "scales": {c["workload"]: c["scale"] for c in grid["cells"]},
         },
@@ -313,6 +479,7 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
         "microbench": (microbench(seed=seed, rounds=micro_rounds,
                                   scale=0.5 if quick else 1.0)
                        if micro else None),
+        "membench": mem_payload,
         "parallel": (compare_serial_parallel(specs, workers)
                      if compare_serial and workers > 1 else None),
         "metrics": metrics,
@@ -337,6 +504,15 @@ def format_bench_summary(payload: Dict) -> str:
             f"interpreter: optimized {micro['optimized_ops_per_sec']:,.0f} "
             f"ops/sec vs legacy {micro['legacy_ops_per_sec']:,.0f} "
             f"(speedup {micro['speedup']:.2f}x)"
+        )
+    mem = payload.get("membench")
+    if mem:
+        lines.append(
+            f"memory stack: filtered {mem['filtered_ops_per_sec']:,.0f} "
+            f"accesses/sec vs unfiltered "
+            f"{mem['unfiltered_ops_per_sec']:,.0f} "
+            f"(speedup {mem['speedup']:.2f}x, "
+            f"identical={mem['identical_stats']})"
         )
     par = payload.get("parallel")
     if par:

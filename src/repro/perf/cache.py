@@ -33,7 +33,8 @@ from typing import Any, Dict, Optional
 
 #: Version folded into every key.  Bump on behavioural changes that
 #: the key payload itself does not capture (e.g. executor semantics).
-CACHE_SCHEMA = 1
+#: 2: CellSpec payload grew a ``fast_path`` field (access filters).
+CACHE_SCHEMA = 2
 
 #: Default cache directory (overridable via the environment).
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"

@@ -8,12 +8,22 @@ bounds lookups, and an unconditional history call on every access.
 the ops/sec ratio, so the interpreter speedup is measured against the
 real former code rather than a synthetic strawman.
 
-Nothing outside the benchmark harness should use this class.
+The same role is played for the memory system by
+:func:`unfiltered_memory_system`: a machine with the PR's access
+filters disabled, which ``repro bench``'s memory-stack
+microbenchmark times against the filtered default (and whose
+statistics the filtered run must match exactly).
+
+Nothing outside the benchmark harness should use this module.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.common.config import SystemConfig
 from repro.common.errors import SimulationError
+from repro.coherence.protocol import MemorySystem
 from repro.obs.events import AbortCause
 from repro.runtime.executor import Executor, _Thread
 from repro.workloads.trace import (
@@ -84,3 +94,16 @@ class LegacyExecutor(Executor):
             thread.pc += 1
             return
         self._resolve_conflict(thread, outcome.conflict)
+
+
+def unfiltered_memory_system(
+        config: Optional[SystemConfig] = None, **kwargs) -> MemorySystem:
+    """A memory system with the access fast path disabled.
+
+    This is the pre-filter baseline for the memory-stack
+    microbenchmark: every access walks the full protocol path
+    (lookup, hit/miss classification, result allocation).  Simulated
+    outcomes are identical to the filtered default — only the wall
+    clock differs.
+    """
+    return MemorySystem(config or SystemConfig(), fast_path=False, **kwargs)

@@ -53,6 +53,10 @@ class CellSpec:
     threads: Optional[int] = None
     system: SystemConfig = field(default_factory=SystemConfig)
     htm: HTMConfig = field(default_factory=HTMConfig)
+    #: Results are provably identical either way, but the flag stays
+    #: in the cache key so a --no-fastpath verification run never
+    #: gets answered from a fast-path cache entry (and vice versa).
+    fast_path: bool = True
 
     def payload(self) -> Dict[str, object]:
         """Key material for :func:`repro.perf.cache.cell_key`."""
@@ -64,6 +68,7 @@ class CellSpec:
             "threads": self.threads,
             "system": self.system,
             "htm": self.htm,
+            "fast_path": self.fast_path,
         }
 
 
@@ -73,13 +78,14 @@ def grid_specs(workloads: Iterable[SyntheticTxnWorkload],
                scale: float = 1.0,
                threads: Optional[int] = None,
                system: Optional[SystemConfig] = None,
-               htm: Optional[HTMConfig] = None) -> List[CellSpec]:
+               htm: Optional[HTMConfig] = None,
+               fast_path: bool = True) -> List[CellSpec]:
     """The full cross product, in deterministic (wl, seed, variant) order."""
     sys_cfg = system or SystemConfig()
     htm_cfg = htm or HTMConfig()
     return [
         CellSpec(wl.spec, variant, seed=seed, scale=scale, threads=threads,
-                 system=sys_cfg, htm=htm_cfg)
+                 system=sys_cfg, htm=htm_cfg, fast_path=fast_path)
         for wl in workloads
         for seed in seeds
         for variant in variants
@@ -92,7 +98,8 @@ def _simulate(spec: CellSpec) -> Tuple[Cell, float]:
     workload = SyntheticTxnWorkload(spec.workload)
     cell = run_cell(workload, spec.variant, scale=spec.scale,
                     seed=spec.seed, threads=spec.threads,
-                    system=spec.system, htm_config=spec.htm)
+                    system=spec.system, htm_config=spec.htm,
+                    fast_path=spec.fast_path)
     return cell, perf_counter() - start
 
 

@@ -79,6 +79,26 @@ class TestVictimSelection:
         victim = cache.victim_for(2)  # set 0 again
         assert victim is not None and victim.block == 0
 
+    def test_touch_line_equals_touch(self):
+        """touch_line(line) is touch(block) minus the tag walk — the
+        resulting recency order must be indistinguishable."""
+        by_block = tiny_cache(sets=1, ways=2)
+        by_line = tiny_cache(sets=1, ways=2)
+        for cache in (by_block, by_line):
+            cache.install(0, MESI.SHARED)
+            cache.install(1, MESI.SHARED)
+        by_block.touch(0)
+        by_line.touch_line(by_line.lookup(0))
+        assert by_block.lookup(0).lru == by_line.lookup(0).lru
+        assert by_block.victim_for(2).block == by_line.victim_for(2).block
+
+    def test_touch_line_protects_from_eviction(self):
+        cache = tiny_cache(sets=1, ways=2)
+        line = cache.install(0, MESI.SHARED)
+        cache.install(1, MESI.SHARED)
+        cache.touch_line(line)
+        assert cache.victim_for(2).block == 1
+
 
 class TestRemove:
     def test_remove_returns_line(self):

@@ -1,0 +1,61 @@
+"""The fast path must be invisible in simulated results.
+
+Runs a small workload x variant grid twice — access filters on and
+off — and requires byte-identical :class:`RunStats` snapshots.  This
+is the PR's equivalence contract end-to-end: traces, scheduling
+(including preemption), conflicts, token release, everything.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_cell, run_trace
+from repro.workloads import cholesky, genome, vacation_high
+
+GRID = [
+    (cholesky, "TokenTM", 0.004),
+    (cholesky, "LogTM-SE_4xH3", 0.004),
+    (vacation_high, "TokenTM", 0.004),
+    (genome, "OneTM", 0.002),
+]
+
+
+@pytest.mark.parametrize("workload,variant,scale", GRID,
+                         ids=[f"{w.__name__}-{v}" for w, v, _ in GRID])
+def test_runstats_identical_across_modes(workload, variant, scale):
+    fast = run_cell(workload(), variant, scale=scale, seed=7,
+                    fast_path=True)
+    slow = run_cell(workload(), variant, scale=scale, seed=7,
+                    fast_path=False)
+    assert fast.stats.snapshot() == slow.stats.snapshot()
+
+
+def test_identical_under_preemption():
+    """A tiny quantum maximizes context switches and migrations —
+    the cases where the HTM short-circuits must stand down."""
+    from repro.common.config import SystemConfig
+
+    system = SystemConfig().scaled(4)   # 8 threads on 4 cores
+    trace = vacation_high().generate(seed=9, scale=0.004, threads=8)
+    fast = run_trace(trace, "TokenTM", system=system, seed=9,
+                     quantum=25, audit=True, fast_path=True)
+    slow = run_trace(trace, "TokenTM", system=system, seed=9,
+                     quantum=25, audit=True, fast_path=False)
+    assert fast.preemptions > 0
+    assert fast.snapshot() == slow.snapshot()
+
+
+def test_fast_path_actually_fires():
+    """Guard against the equivalence passing vacuously because the
+    filters never engage on real workloads."""
+    from repro.common.config import HTMConfig, RunConfig, SystemConfig
+    from repro.coherence.protocol import MemorySystem
+    from repro.htm import make_htm
+    from repro.runtime.executor import run_workload
+
+    trace = cholesky().generate(seed=7, scale=0.004, threads=4)
+    mem = MemorySystem(SystemConfig())
+    machine = make_htm("TokenTM", mem, HTMConfig())
+    run_workload(machine, trace, RunConfig(seed=7))
+    fp = mem.fastpath.snapshot()
+    assert fp["coherence_read_hits"] + fp["coherence_write_hits"] > 0
+    assert fp["htm_read_hits"] + fp["htm_write_hits"] > 0

@@ -10,9 +10,13 @@ from repro.htm import make_htm
 from repro.perf.bench import (
     BENCH_SCHEMA,
     bench_specs,
+    check_regression,
+    load_bench,
+    membench,
     micro_trace,
     run_bench,
 )
+from repro.perf.cache import cell_key
 from repro.perf.legacy import LegacyExecutor
 from repro.runtime.executor import Executor
 from repro.workloads.base import SyntheticTxnWorkload
@@ -61,7 +65,7 @@ def test_run_bench_writes_schema_documented_json(tmp_path):
     payload = run_bench(
         out=str(out), quick=True, workload_names=("Cholesky",),
         variants=("TokenTM",), scale_factor=0.5,
-        cache_dir=str(tmp_path / "cache"), micro=False,
+        cache_dir=str(tmp_path / "cache"), micro=False, membench=False,
     )
     on_disk = json.loads(out.read_text())
     assert on_disk == payload
@@ -81,7 +85,7 @@ def test_run_bench_writes_schema_documented_json(tmp_path):
     rerun = run_bench(
         out=str(out), quick=True, workload_names=("Cholesky",),
         variants=("TokenTM",), scale_factor=0.5,
-        cache_dir=str(tmp_path / "cache"), micro=False,
+        cache_dir=str(tmp_path / "cache"), micro=False, membench=False,
     )
     warm = rerun["grid"]["cells"][0]
     assert warm["cache_hit"] is True
@@ -95,10 +99,62 @@ def test_run_bench_micro_section(tmp_path):
     payload = run_bench(
         out=str(out), quick=True, workload_names=("Cholesky",),
         variants=("TokenTM",), scale_factor=0.25, micro=True,
-        micro_rounds=1,
+        micro_rounds=1, membench=False,
     )
     micro = payload["microbench"]
     assert micro["trace_ops"] > 0
     assert micro["legacy_ops_per_sec"] > 0
     assert micro["optimized_ops_per_sec"] > 0
     assert micro["speedup"] > 0
+
+
+def test_bench_specs_fast_path_changes_cache_key():
+    """A --no-fastpath verification run must never be answered from a
+    fast-path cache entry (and vice versa)."""
+    fast, = bench_specs(quick=True, workload_names=("Cholesky",),
+                        variants=("TokenTM",))
+    slow, = bench_specs(quick=True, workload_names=("Cholesky",),
+                        variants=("TokenTM",), fast_path=False)
+    assert fast.payload()["fast_path"] is True
+    assert slow.payload()["fast_path"] is False
+    assert cell_key(fast) != cell_key(slow)
+
+
+def test_membench_identical_stats_and_speedup():
+    result = membench(rounds=1, blocks=16, repeats=6)
+    assert result["identical_stats"] is True
+    assert result["accesses"] > 0
+    assert result["speedup"] > 0
+    assert result["fastpath"]["htm_read_hits"] > 0
+    assert result["fastpath"]["coherence_write_hits"] > 0
+
+
+def test_run_bench_membench_section(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    payload = run_bench(
+        out=str(out), quick=True, workload_names=("Cholesky",),
+        variants=("TokenTM",), scale_factor=0.25, micro=False,
+        micro_rounds=1, membench=True,
+    )
+    mem = payload["membench"]
+    assert mem["identical_stats"] is True
+    assert mem["filtered_ops_per_sec"] > 0
+    assert mem["unfiltered_ops_per_sec"] > 0
+    assert payload["config"]["fast_path"] is True
+    # The fast-path counters reach the artifact's metrics section.
+    metrics = payload["metrics"]
+    assert metrics["perf.fastpath.htm_read_hits"]["value"] > 0
+
+
+def test_check_regression_compares_ratios(tmp_path):
+    base = {"microbench": {"speedup": 2.0}, "membench": {"speedup": 1.6}}
+    ok = {"microbench": {"speedup": 1.8}, "membench": {"speedup": 1.5}}
+    bad = {"microbench": {"speedup": 2.1}, "membench": {"speedup": 1.0}}
+    assert check_regression(ok, base, tolerance=0.3) == []
+    failures = check_regression(bad, base, tolerance=0.3)
+    assert len(failures) == 1 and "membench" in failures[0]
+    # Absent sections (e.g. --no-membench) are skipped, not failed.
+    assert check_regression({"microbench": None}, base) == []
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps(base))
+    assert load_bench(str(path)) == base

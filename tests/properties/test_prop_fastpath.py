@@ -1,0 +1,67 @@
+"""Property tests: ``preview`` agrees with a subsequent ``access``.
+
+``preview`` is the promise the protocol makes to the HTM layer (it
+drives LogTM-SE's signature checks); ``access`` is what actually
+happens.  These must agree on every field, and the agreement must be
+unaffected by the hit filter — with the fast path on, a filtered
+``access`` must still return exactly what ``preview`` predicted.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.coherence.protocol import MemorySystem
+from tests.conftest import small_system
+
+CORES = 4
+
+#: A small block pool maximizes sharing, stealing, and upgrades; a
+#: few blocks alias the same L1 set so evictions occur too.
+ops_strategy = st.lists(
+    st.tuples(st.integers(0, CORES - 1), st.integers(0, 23), st.booleans()),
+    min_size=1, max_size=120,
+)
+
+
+def check_agreement(mem, core, block, is_write):
+    pv = mem.preview(core, block, is_write)
+    res = mem.access(core, block, is_write)
+    assert pv.hit == res.hit
+    assert pv.would_invalidate == res.invalidated
+    if pv.would_downgrade is not None:
+        assert res.source == pv.would_downgrade
+    if not pv.needs_directory:
+        # No directory action promised: L1-hit latency, no coherence
+        # side effects, no state change visible to others.
+        assert res.hit
+        assert res.latency == mem.config.latency.l1_hit
+        assert res.invalidated == ()
+        assert not res.upgraded and not res.filled
+
+
+@pytest.mark.parametrize("fast_path", [True, False])
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_strategy)
+def test_preview_agrees_with_access(fast_path, ops):
+    mem = MemorySystem(small_system(), fast_path=fast_path)
+    for core, block, is_write in ops:
+        check_agreement(mem, core, block, is_write)
+    mem.audit()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_strategy)
+def test_preview_identical_across_modes(ops):
+    """Both machines must publish the same previews at every step."""
+    fast = MemorySystem(small_system())
+    slow = MemorySystem(small_system(), fast_path=False)
+    for core, block, is_write in ops:
+        assert (fast.preview(core, block, is_write)
+                == slow.preview(core, block, is_write))
+        a = fast.access(core, block, is_write)
+        b = slow.access(core, block, is_write)
+        assert (a.latency, a.hit, a.invalidated, a.source) \
+            == (b.latency, b.hit, b.invalidated, b.source)
+    assert fast.stats.snapshot() == slow.stats.snapshot()
