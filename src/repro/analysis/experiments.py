@@ -29,6 +29,9 @@ from repro.analysis.ci import Estimate, confidence_interval
 from repro.common.config import HTMConfig, RunConfig, SystemConfig
 from repro.common.rng import perturbation_seeds
 from repro.coherence.protocol import MemorySystem
+from repro.faults.injector import FaultInjector
+from repro.faults.monitor import InvariantMonitor
+from repro.faults.plan import FaultPlan
 from repro.htm import make_htm
 from repro.obs.events import EventBus
 from repro.runtime.executor import Executor
@@ -70,13 +73,21 @@ def run_trace(trace: WorkloadTrace, variant: str,
               audit: bool = False,
               quantum: int = 200,
               bus: Optional[EventBus] = None,
-              fast_path: bool = True) -> RunStats:
+              fast_path: bool = True,
+              faults: Optional[FaultPlan] = None,
+              monitor: Optional[InvariantMonitor] = None) -> RunStats:
     """Execute an already-generated trace on a fresh machine.
 
     Pass an enabled :class:`~repro.obs.events.EventBus` to trace the
     run; the default null bus makes instrumentation free.
     ``fast_path=False`` disables the memory-system access filters
     (``--no-fastpath``); results are identical either way.
+
+    ``faults`` injects the given plan (seeded from ``seed``) and
+    ``monitor`` runs invariant checks at quantum boundaries; both
+    default to absent, keeping this path byte-identical to builds
+    without the faults subsystem.  A monitor implies commit-history
+    tracking (the serializability oracle needs it).
     """
     sys_cfg = system or SystemConfig()
     cfg = htm_config or HTMConfig()
@@ -84,8 +95,13 @@ def run_trace(trace: WorkloadTrace, variant: str,
                        MemorySystem(sys_cfg, bus=bus, fast_path=fast_path),
                        cfg)
     run_cfg = RunConfig(system=sys_cfg, htm=cfg, seed=seed, audit=audit)
+    injector = None
+    if faults is not None and faults.specs:
+        injector = FaultInjector(faults, seed=seed, bus=bus)
+    track_history = monitor is not None and monitor.enabled
     executor = Executor(machine, trace, run_cfg, quantum=quantum,
-                        validate=False, track_history=False)
+                        validate=False, track_history=track_history,
+                        injector=injector, monitor=monitor)
     return executor.run().stats
 
 
@@ -95,14 +111,16 @@ def run_cell(workload: SyntheticTxnWorkload, variant: str,
              system: Optional[SystemConfig] = None,
              htm_config: Optional[HTMConfig] = None,
              bus: Optional[EventBus] = None,
-             fast_path: bool = True) -> Cell:
+             fast_path: bool = True,
+             faults: Optional[FaultPlan] = None,
+             monitor: Optional[InvariantMonitor] = None) -> Cell:
     """Generate the workload at ``scale`` and run it on ``variant``."""
     sys_cfg = system or SystemConfig()
     nthreads = threads if threads is not None else sys_cfg.num_cores
     trace = workload.generate(seed=seed, scale=scale, threads=nthreads)
     stats = run_trace(trace, variant, system=sys_cfg,
                       htm_config=htm_config, seed=seed, bus=bus,
-                      fast_path=fast_path)
+                      fast_path=fast_path, faults=faults, monitor=monitor)
     return Cell(trace.name, variant, seed, stats)
 
 

@@ -3,7 +3,12 @@
 Commands map one-to-one onto the paper's experiments:
 
 * ``run``      — one workload on one HTM variant, stats as text/JSON
-  (``--trace``/``--trace-out``/``--chrome-out`` record the run);
+  (``--trace``/``--trace-out``/``--chrome-out`` record the run;
+  ``--faults PLAN.json`` injects a fault plan, ``--monitor`` runs the
+  invariant monitor and exits nonzero on any violation);
+* ``chaos``    — fault-injection campaign over seeds x variants with
+  shrink-to-minimal plans and replayable failure bundles
+  (``docs/robustness.md``);
 * ``trace``    — traced run with the conflict/abort attribution
   report, or ``--validate`` for an existing JSONL trace;
 * ``table1``   — the long-critical-section analysis;
@@ -118,8 +123,18 @@ def cmd_run(args) -> int:
     if bus is not None and args.trace:
         report = TraceReport()
         bus.attach(report)
+    faults = monitor = None
+    if args.faults:
+        from repro.faults.plan import FaultPlan
+
+        faults = FaultPlan.load(args.faults)
+    if args.monitor:
+        from repro.faults.monitor import InvariantMonitor
+
+        monitor = InvariantMonitor()
     cell = run_cell(workload, args.variant, scale=scale, seed=args.seed,
-                    bus=bus, fast_path=not args.no_fastpath)
+                    bus=bus, fast_path=not args.no_fastpath,
+                    faults=faults, monitor=monitor)
     if bus is not None:
         _finish_trace(bus, jsonl, chrome, args)
     snapshot = cell.stats.snapshot()
@@ -127,7 +142,8 @@ def cmd_run(args) -> int:
     if args.json:
         print(json.dumps(snapshot, indent=2, default=str))
     else:
-        rows = [(k, v) for k, v in snapshot.items() if k != "machine"]
+        rows = [(k, v) for k, v in snapshot.items()
+                if k not in ("machine", "faults", "monitor")]
         print(format_table(["metric", "value"], rows,
                            title=f"{args.workload} on {args.variant}"))
         machine = snapshot["machine"]
@@ -136,9 +152,34 @@ def cmd_run(args) -> int:
             sorted((k, v) for k, v in machine.items()
                    if not k.startswith("_")),
         ))
+        if "faults" in snapshot:
+            print(format_table(
+                ["fault kind", "injected"],
+                sorted(snapshot["faults"].get("injected", {}).items()),
+                title=f"faults (plan {snapshot['faults'].get('plan')})",
+            ))
     if report is not None:
         print()
         print(report.format_summary())
+    # Invariant violations fail the run: a nonzero exit code is what
+    # lets CI (and scripts) treat a passing `repro run` as evidence
+    # the oracles held, not just that the process finished.
+    mon = snapshot.get("monitor")
+    if mon is not None:
+        checks = mon.get("checks_run", 0)
+        if mon.get("ok", True):
+            print(f"invariants: ok ({checks} checks)", file=sys.stderr)
+        else:
+            for v in mon.get("violations", []):
+                print(
+                    f"INVARIANT VIOLATION [{v.get('check')}] "
+                    f"{v.get('error')}: {v.get('message')} "
+                    f"(quantum boundary {v.get('boundary')})",
+                    file=sys.stderr,
+                )
+            print(f"invariants: FAILED ({checks} checks)",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -288,6 +329,72 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults.bundle import ReproBundle
+    from repro.faults.campaign import replay_bundle, run_campaign
+    from repro.faults.plan import FaultPlan, default_plan
+
+    if args.replay:
+        bundle = ReproBundle.load(args.replay)
+        label = bundle.variant + (
+            f"+{bundle.mutant}" if bundle.mutant else "")
+        print(f"replaying {args.replay}: {bundle.workload} on {label}, "
+              f"seed {bundle.seed}, plan "
+              f"{bundle.fault_plan().content_hash()}")
+        cell = replay_bundle(bundle)
+        if cell.ok:
+            print("replay PASSED — the recorded failure did not "
+                  "reproduce", file=sys.stderr)
+            return 1
+        same = cell.error.get("message") == bundle.error.get("message")
+        print(f"replay reproduced: {cell.error.get('error')}: "
+              f"{cell.error.get('message')}")
+        print("matches recorded failure" if same else
+              "WARNING: differs from recorded failure", file=sys.stderr)
+        return 0 if same else 1
+
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    else:
+        plan = default_plan(intensity=args.intensity)
+    variants = [v for v in args.variants.split(",") if v]
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+
+    def progress(cell):
+        status = "ok" if cell.ok else \
+            f"FAIL {cell.error.get('error')}: {cell.error.get('message')}"
+        print(f"  {cell.workload} / {cell.variant} seed {cell.seed}: "
+              f"{status}")
+
+    if not args.json:
+        print(f"chaos campaign: {args.workload} x {variants} x "
+              f"{len(seeds)} seeds, plan {plan.content_hash()} "
+              f"({len(plan)} specs)"
+              + (f", mutant {args.mutant}" if args.mutant else ""))
+    result = run_campaign(
+        workload=args.workload, variants=variants, seeds=seeds,
+        plan=plan, scale=args.scale, quantum=args.quantum,
+        cadence=args.cadence, mutant=args.mutant,
+        shrink=not args.no_shrink, out_dir=args.out_dir,
+        progress=None if args.json else progress,
+    )
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"{summary['cells']} cells, {summary['failures']} "
+              f"failures")
+        for path in summary["bundles"]:
+            print(f"repro bundle: {path} "
+                  f"(replay with `repro chaos --replay {path}`)")
+    if not result.ok:
+        print("chaos: invariant violations detected", file=sys.stderr)
+        return 1
+    if not args.json:
+        print("chaos: all invariants held")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -314,7 +421,46 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-fastpath", action="store_true",
                        help="disable the memory-system access filters "
                             "(results are identical; for verification)")
+    run_p.add_argument("--faults", metavar="PLAN.json", default=None,
+                       help="inject the given fault plan "
+                            "(see docs/robustness.md)")
+    run_p.add_argument("--monitor", action="store_true",
+                       help="run the invariant monitor at quantum "
+                            "boundaries; exit 1 on any violation")
     run_p.set_defaults(func=cmd_run)
+
+    chaos_p = sub.add_parser(
+        "chaos", help="fault-injection campaign (seeds x variants)")
+    chaos_p.add_argument("--workload", default="Cholesky",
+                         help="Table 5 workload name")
+    chaos_p.add_argument("--variants", default="tokentm,logtm_se,onetm",
+                         help="comma-separated variants (lowercase "
+                              "aliases or registry names)")
+    chaos_p.add_argument("--seeds", type=int, default=5,
+                         help="number of seeds (seed-base..+N-1)")
+    chaos_p.add_argument("--seed-base", type=int, default=0)
+    chaos_p.add_argument("--scale", type=float, default=0.004)
+    chaos_p.add_argument("--quantum", type=int, default=200)
+    chaos_p.add_argument("--cadence", type=int, default=8,
+                         help="invariant checks every N quantum "
+                              "boundaries")
+    chaos_p.add_argument("--plan", metavar="PLAN.json", default=None,
+                         help="fault plan (default: built-in chaos plan)")
+    chaos_p.add_argument("--intensity", type=float, default=1.0,
+                         help="scale the default plan's fault rates")
+    chaos_p.add_argument("--mutant", default=None,
+                         help="run a deliberately broken TokenTM "
+                              "(token_leak / fusion_drop) to self-test "
+                              "the monitor")
+    chaos_p.add_argument("--out-dir", metavar="DIR",
+                         default="chaos-bundles",
+                         help="where failure repro bundles are written")
+    chaos_p.add_argument("--no-shrink", action="store_true",
+                         help="skip shrinking failing plans to minimal")
+    chaos_p.add_argument("--replay", metavar="BUNDLE.json", default=None,
+                         help="replay a failure bundle and exit")
+    chaos_p.add_argument("--json", action="store_true")
+    chaos_p.set_defaults(func=cmd_chaos)
 
     trace_p = sub.add_parser(
         "trace", help="traced run with conflict/abort attribution")

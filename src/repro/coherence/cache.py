@@ -54,6 +54,9 @@ class L1Cache:
             {} for _ in range(geometry.num_sets)
         ]
         self._tick = 0
+        #: Usable ways per set; fault injection lowers this below the
+        #: geometry's associativity to create capacity pressure.
+        self._ways = geometry.associativity
 
     @property
     def core(self) -> int:
@@ -100,7 +103,7 @@ class L1Cache:
         cache_set = self._set_for(block)
         if block in cache_set:
             return None
-        if len(cache_set) < self._geometry.associativity:
+        if len(cache_set) < self._ways:
             return None
         return min(cache_set.values(), key=lambda ln: ln.lru)
 
@@ -111,7 +114,7 @@ class L1Cache:
             raise CoherenceError(
                 f"block {block:#x} already resident in core {self._core} L1"
             )
-        if len(cache_set) >= self._geometry.associativity:
+        if len(cache_set) >= self._ways:
             raise CoherenceError(
                 f"set full installing block {block:#x} in core {self._core} L1"
             )
@@ -129,6 +132,29 @@ class L1Cache:
                 f"block {block:#x} not resident in core {self._core} L1"
             )
         return line
+
+    @property
+    def ways(self) -> int:
+        """Ways per set currently usable (<= geometry associativity)."""
+        return self._ways
+
+    def set_way_limit(self, ways: int) -> List[int]:
+        """Restrict (or restore) the usable ways per set.
+
+        ``ways`` is clamped to ``[1, associativity]``.  Returns the
+        blocks that now exceed the new limit (LRU-first per set); the
+        caller must evict them through the protocol layer so the
+        directory is notified and metastate follows the data home —
+        this method only *selects* overflow, it never drops lines.
+        """
+        self._ways = max(1, min(ways, self._geometry.associativity))
+        overflow: List[int] = []
+        for cache_set in self._sets:
+            excess = len(cache_set) - self._ways
+            if excess > 0:
+                victims = sorted(cache_set.values(), key=lambda ln: ln.lru)
+                overflow.extend(ln.block for ln in victims[:excess])
+        return overflow
 
     def lines(self) -> Iterator[CacheLine]:
         """Iterate over all valid resident lines."""

@@ -518,6 +518,21 @@ class MemorySystem:
                           state=line.state.name.lower())
         self._listener.on_evict(core, block, line)
 
+    def mask_ways(self, core: int, ways: int) -> int:
+        """Restrict ``core``'s L1 to ``ways`` usable ways per set.
+
+        Fault-injection hook for capacity pressure: lines that no
+        longer fit are evicted *non-silently* through :meth:`evict`,
+        so the directory is told and the HTM listener can fuse any
+        metastate home (TokenTM metabit overflow into the in-memory
+        summary).  Passing ``ways >= associativity`` restores the full
+        cache.  Returns the number of lines evicted.
+        """
+        overflow = self._caches[core].set_way_limit(ways)
+        for block in overflow:
+            self.evict(core, block)
+        return len(overflow)
+
     def _invalidate_others(self, core: int, block: int) -> Tuple[int, ...]:
         entry = self._directory.entry(block)
         if entry.state is not DirState.SHARED:

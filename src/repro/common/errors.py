@@ -69,6 +69,16 @@ class SerializabilityError(ReproError):
     """
 
 
+class InvariantViolationError(ReproError):
+    """A monitored machine invariant failed during a run.
+
+    Raised by the fault-injection campaign's invariant monitor when a
+    mid-run or end-of-run check (token conservation, metastate
+    legality, undo-log consistency, serializability) fails.  The
+    underlying oracle error is chained as ``__cause__``.
+    """
+
+
 class TraceError(ReproError):
     """Malformed workload trace (unknown opcode, unbalanced txn markers)."""
 

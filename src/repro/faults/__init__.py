@@ -1,0 +1,49 @@
+"""Fault injection and invariant monitoring (chaos testing).
+
+TokenTM's headline claim is that transactions survive the ugly cases
+— context switches, paging, cache overflow, conflict storms — without
+ever losing a token.  This package adversarially *provokes* those
+cases and continuously checks the oracles that would notice a loss:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a JSON-serializable
+  schedule of faults, triggered at executor quantum boundaries either
+  deterministically (``at`` / ``every``) or probabilistically
+  (``prob``), all driven by :func:`repro.common.rng.substream` so a
+  failing campaign replays byte-identically from ``(seed, plan)``;
+* :class:`FaultInjector` — applies the plan against a running
+  executor (:data:`NULL_INJECTOR` is the zero-cost disabled default);
+* :class:`InvariantMonitor` — runs the token-conservation audit,
+  metastate legality checks, undo-log consistency, and the
+  serializability oracle at a configurable cadence during runs
+  (:data:`NULL_MONITOR` disabled default);
+* :mod:`repro.faults.campaign` (imported explicitly, it pulls in the
+  experiment harness) — seeds x variants chaos campaigns with
+  shrink-to-minimal plans and repro bundles;
+* :mod:`repro.faults.mutations` — deliberately broken TokenTM
+  variants used to prove the monitor actually detects bugs.
+
+See ``docs/robustness.md`` for the fault taxonomy and the
+repro-bundle workflow.
+"""
+
+from repro.faults.bundle import ReproBundle
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
+from repro.faults.monitor import NULL_MONITOR, InvariantMonitor
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    default_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "InvariantMonitor",
+    "NULL_INJECTOR",
+    "NULL_MONITOR",
+    "ReproBundle",
+    "default_plan",
+]

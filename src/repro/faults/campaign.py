@@ -1,0 +1,291 @@
+"""Chaos campaigns: seeds x variants fault-injection sweeps.
+
+A campaign runs one workload across a grid of ``(seed, variant)``
+cells, each on a fresh machine with the fault plan injected and the
+invariant monitor in halting mode.  Any
+:class:`~repro.common.errors.ReproError` — a monitor violation or a
+machinery-level failure the faults provoked — counts as a detection:
+the campaign shrinks the plan to a minimal still-failing subset
+(greedy delta debugging) and captures a replayable
+:class:`~repro.faults.bundle.ReproBundle`.
+
+On a clean build the acceptance campaign
+(``repro chaos --seeds 25 --variants tokentm,logtm_se,onetm``) must
+come back empty-handed; against the seeded bugs in
+:mod:`repro.faults.mutations` it must not.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import HTMConfig, RunConfig, SystemConfig
+from repro.common.errors import ConfigError, ReproError
+from repro.faults.bundle import TRACE_TAIL_EVENTS, ReproBundle
+from repro.faults.injector import FaultInjector
+from repro.faults.monitor import InvariantMonitor
+from repro.faults.mutations import MUTANTS
+from repro.faults.plan import FaultPlan, default_plan
+from repro.coherence.protocol import MemorySystem
+from repro.htm import make_htm
+from repro.obs.events import EventBus
+from repro.obs.sinks import RingBufferSink
+from repro.runtime.executor import Executor
+from repro.runtime.stats import RunStats
+from repro.workloads import tm_workloads
+
+#: CLI-friendly lowercase aliases for the registry variant names.
+VARIANT_ALIASES: Dict[str, str] = {
+    "tokentm": "TokenTM",
+    "tokentm_nofast": "TokenTM_NoFast",
+    "logtm_se": "LogTM-SE_4xH3",
+    "logtm_se_2xh3": "LogTM-SE_2xH3",
+    "logtm_se_4xh3": "LogTM-SE_4xH3",
+    "logtm_se_perf": "LogTM-SE_Perf",
+    "onetm": "OneTM",
+}
+
+#: Campaign defaults: small enough that 25 seeds x 3 variants stays a
+#: smoke test, contended enough to exercise every fault kind.
+DEFAULT_WORKLOAD = "Cholesky"
+DEFAULT_SCALE = 0.004
+DEFAULT_CADENCE = 8
+
+
+def resolve_variant(name: str) -> str:
+    """Map a CLI alias (``tokentm``) to its registry name."""
+    return VARIANT_ALIASES.get(name.strip().lower(), name.strip())
+
+
+@dataclass
+class ChaosCell:
+    """Outcome of one campaign cell."""
+
+    workload: str
+    variant: str
+    seed: int
+    ok: bool
+    stats: Optional[RunStats] = None
+    error: Dict[str, object] = field(default_factory=dict)
+    bundle: Optional[ReproBundle] = None
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    workload: str
+    scale: float
+    plan: Dict[str, object]
+    cells: List[ChaosCell] = field(default_factory=list)
+    bundle_paths: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.cells)
+
+    @property
+    def failures(self) -> List[ChaosCell]:
+        return [c for c in self.cells if not c.ok]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "scale": self.scale,
+            "cells": len(self.cells),
+            "failures": len(self.failures),
+            "ok": self.ok,
+            "bundles": list(self.bundle_paths),
+        }
+
+
+def _build_machine(variant: str, sys_cfg: SystemConfig,
+                   htm_cfg: HTMConfig, bus: Optional[EventBus],
+                   mutant: Optional[str]):
+    mem = MemorySystem(sys_cfg, bus=bus)
+    if mutant is not None:
+        cls = MUTANTS.get(mutant)
+        if cls is None:
+            raise ConfigError(
+                f"unknown mutant {mutant!r}; expected one of "
+                f"{sorted(MUTANTS)}"
+            )
+        return cls(mem, htm_cfg)
+    return make_htm(variant, mem, htm_cfg)
+
+
+def run_chaos_cell(workload: str = DEFAULT_WORKLOAD,
+                   variant: str = "TokenTM",
+                   seed: int = 0,
+                   plan: Optional[FaultPlan] = None,
+                   scale: float = DEFAULT_SCALE,
+                   quantum: int = 200,
+                   cadence: int = DEFAULT_CADENCE,
+                   skew_tolerance: Optional[int] = None,
+                   mutant: Optional[str] = None,
+                   registry=None) -> ChaosCell:
+    """One chaos run: fresh machine, injected plan, halting monitor.
+
+    Deterministic in every input: the same ``(seed, plan)`` replays
+    the identical fault sequence, which is what makes the returned
+    bundle (on failure) a faithful reproduction recipe.
+    """
+    plan = plan if plan is not None else default_plan()
+    variant = resolve_variant(variant)
+    registry_wl = tm_workloads()
+    if workload not in registry_wl:
+        raise ConfigError(
+            f"unknown workload {workload!r}; expected one of "
+            f"{sorted(registry_wl)}"
+        )
+    sys_cfg = SystemConfig()
+    htm_cfg = HTMConfig()
+    bus = EventBus()
+    sink = RingBufferSink(TRACE_TAIL_EVENTS)
+    bus.attach(sink)
+    machine = _build_machine(variant, sys_cfg, htm_cfg, bus, mutant)
+    trace = registry_wl[workload].generate(
+        seed=seed, scale=scale, threads=sys_cfg.num_cores
+    )
+    injector = FaultInjector(plan, seed=seed, registry=registry, bus=bus)
+    monitor = InvariantMonitor(cadence=cadence,
+                               skew_tolerance=skew_tolerance,
+                               halt=True, registry=registry, bus=bus)
+    executor = Executor(machine, trace,
+                        RunConfig(system=sys_cfg, htm=htm_cfg, seed=seed),
+                        quantum=quantum, validate=False,
+                        track_history=True, bus=bus,
+                        injector=injector, monitor=monitor)
+    cell = ChaosCell(workload=workload, variant=variant, seed=seed, ok=True)
+    try:
+        cell.stats = executor.run().stats
+    except ReproError as exc:
+        cell.ok = False
+        cell.error = {
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "cause": type(exc.__cause__).__name__
+            if exc.__cause__ is not None else None,
+        }
+        cell.bundle = ReproBundle(
+            workload=workload, variant=variant, scale=scale, seed=seed,
+            quantum=quantum, cadence=cadence,
+            skew_tolerance=skew_tolerance, mutant=mutant,
+            plan=plan.to_dict(), error=dict(cell.error),
+            faults=injector.snapshot(),
+            trace_tail=[e.to_dict() for e in sink.events],
+            trace_dropped=sink.dropped,
+        )
+    return cell
+
+
+def shrink_plan(plan: FaultPlan,
+                still_fails: Callable[[FaultPlan], bool]) -> FaultPlan:
+    """Greedy delta debugging: drop specs while the failure persists.
+
+    Repeatedly removes the first spec whose removal keeps
+    ``still_fails`` true; terminates at a locally minimal plan (every
+    remaining spec is necessary), possibly empty when the failure
+    needs no faults at all (a pure monitor catch, e.g. a mutant bug
+    the baseline workload already trips).
+    """
+    current = plan
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(current.specs)):
+            candidate = current.without(i)
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def replay_bundle(bundle: ReproBundle) -> ChaosCell:
+    """Re-run a captured failure from its bundle."""
+    return run_chaos_cell(
+        workload=bundle.workload, variant=bundle.variant,
+        seed=bundle.seed, plan=bundle.fault_plan(), scale=bundle.scale,
+        quantum=bundle.quantum, cadence=bundle.cadence,
+        skew_tolerance=bundle.skew_tolerance, mutant=bundle.mutant,
+    )
+
+
+def run_campaign(workload: str = DEFAULT_WORKLOAD,
+                 variants: Sequence[str] = ("tokentm", "logtm_se", "onetm"),
+                 seeds: Sequence[int] = tuple(range(5)),
+                 plan: Optional[FaultPlan] = None,
+                 scale: float = DEFAULT_SCALE,
+                 quantum: int = 200,
+                 cadence: int = DEFAULT_CADENCE,
+                 skew_tolerance: Optional[int] = None,
+                 mutant: Optional[str] = None,
+                 shrink: bool = True,
+                 out_dir: Optional[str] = None,
+                 max_bundles: int = 4,
+                 progress: Optional[Callable[[ChaosCell], None]] = None,
+                 ) -> CampaignResult:
+    """Sweep ``seeds`` x ``variants`` under one fault plan.
+
+    On each failure the plan is shrunk (unless ``shrink=False``) and
+    a bundle carrying the *minimal* plan is written to ``out_dir``
+    (at most ``max_bundles``; the rest stay in the cells).
+    """
+    plan = plan if plan is not None else default_plan()
+    result = CampaignResult(workload=workload, scale=scale,
+                            plan=plan.to_dict())
+    for variant in variants:
+        for seed in seeds:
+            cell = run_chaos_cell(
+                workload=workload, variant=variant, seed=seed, plan=plan,
+                scale=scale, quantum=quantum, cadence=cadence,
+                skew_tolerance=skew_tolerance, mutant=mutant,
+            )
+            if not cell.ok and shrink:
+                cell = _shrink_failure(cell, plan, workload, variant,
+                                       seed, scale, quantum, cadence,
+                                       skew_tolerance, mutant)
+            result.cells.append(cell)
+            if (not cell.ok and out_dir is not None
+                    and cell.bundle is not None
+                    and len(result.bundle_paths) < max_bundles):
+                os.makedirs(out_dir, exist_ok=True)
+                path = os.path.join(
+                    out_dir,
+                    f"chaos-{cell.variant}-s{seed}"
+                    f"{'-' + mutant if mutant else ''}.json",
+                )
+                cell.bundle.save(path)
+                result.bundle_paths.append(path)
+            if progress is not None:
+                progress(cell)
+    return result
+
+
+def _shrink_failure(cell: ChaosCell, plan: FaultPlan, workload: str,
+                    variant: str, seed: int, scale: float, quantum: int,
+                    cadence: int, skew_tolerance: Optional[int],
+                    mutant: Optional[str]) -> ChaosCell:
+    """Replace a failing cell with one reproduced on a minimal plan."""
+
+    def still_fails(candidate: FaultPlan) -> bool:
+        return not run_chaos_cell(
+            workload=workload, variant=variant, seed=seed, plan=candidate,
+            scale=scale, quantum=quantum, cadence=cadence,
+            skew_tolerance=skew_tolerance, mutant=mutant,
+        ).ok
+
+    minimal = shrink_plan(plan, still_fails)
+    if minimal.specs == plan.specs:
+        return cell
+    shrunk = run_chaos_cell(
+        workload=workload, variant=variant, seed=seed, plan=minimal,
+        scale=scale, quantum=quantum, cadence=cadence,
+        skew_tolerance=skew_tolerance, mutant=mutant,
+    )
+    # Shrinking must preserve the failure; fall back to the original
+    # cell if a flaky interaction made the minimal plan pass.
+    return shrunk if not shrunk.ok else cell

@@ -1,0 +1,71 @@
+"""Deliberately broken machines: mutation self-tests for the monitor.
+
+A chaos harness is only trustworthy if it provably *catches* bugs, so
+this module ships TokenTM variants with classic token-accounting
+mistakes seeded in.  A short campaign against any of them must end in
+an :class:`~repro.common.errors.InvariantViolationError` with a
+replayable ``(seed, plan)`` bundle; ``tests/faults/test_mutation.py``
+asserts exactly that, and ``repro chaos --mutant <name>`` demonstrates
+it from the CLI.
+
+These classes are test fixtures — never register them in
+:func:`repro.htm.make_htm`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.coherence.cache import CacheLine
+from repro.core.tmlog import TmLog
+from repro.htm.tokentm import TokenTM
+
+
+class TokenLeakTokenTM(TokenTM):
+    """Bug: drops the newest log record before every token release.
+
+    Models "skip one token release on commit": the dropped record's
+    tokens stay debited in the block's metastate with no log credit
+    backing them — the double-entry books go permanently unbalanced
+    the first time the software release path runs (context switches
+    and aborts force it even when fast release is eligible).
+    """
+
+    mutant_name = "token_leak"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.name += "+token_leak"
+
+    def _release_tokens(self, core: int, tid: int, log: TmLog) -> int:
+        if log._records:
+            log._records.pop()
+        return super()._release_tokens(core, tid, log)
+
+
+class FusionDropTokenTM(TokenTM):
+    """Bug: discards pending metastate shards instead of fusing them.
+
+    Models "drop a fission merge": when an invalidated copy's
+    metastate shard arrives at the requesting core, it is thrown away
+    rather than merged into the line — tokens vanish from the
+    metastate while their log credits survive, unbalancing the books
+    in the opposite direction from :class:`TokenLeakTokenTM`.
+    """
+
+    mutant_name = "fusion_drop"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.name += "+fusion_drop"
+
+    def _drain_pending(self, core: int, block: int,
+                       line: CacheLine) -> None:
+        self._pending.pop((core, block), None)
+
+
+#: Mutants by short name (the ``repro chaos --mutant`` vocabulary).
+MUTANTS: Dict[str, Type[TokenTM]] = {
+    cls.mutant_name: cls
+    for cls in (TokenLeakTokenTM, FusionDropTokenTM)
+}

@@ -200,5 +200,22 @@ class HTM(ABC):
         return 0
 
     def audit(self) -> None:
-        """Check machine invariants (tests only; may be expensive)."""
+        """Check machine invariants (may be expensive).
+
+        Raises a :class:`~repro.common.errors.ReproError` subtype on
+        the first violation.  Used by tests and, at a configurable
+        cadence, by the invariant monitor (``repro.faults``).
+        """
         self.mem.audit()
+
+    def check_invariants(self) -> Dict[str, object]:
+        """Run every invariant check and describe what was verified.
+
+        The monitor-path entry point: like :meth:`audit` this raises
+        on the first violation, but on success it returns a
+        JSON-serializable report of which checks ran (variants extend
+        it with their own checks — token conservation, signature
+        consistency, overflow-token uniqueness).
+        """
+        self.audit()
+        return {"checks": ["coherence"]}

@@ -322,6 +322,32 @@ class LogTMSE(HTM):
         txn = self._txns.get(tid)
         return len(txn.write_set) if txn else 0
 
+    def check_invariants(self) -> Dict[str, object]:
+        """Coherence audit plus signature-superset consistency.
+
+        A Bloom signature may report false positives but never false
+        negatives: every block in a live transaction's exact read
+        (write) set must test positive in its read (write) signature,
+        or conflict detection has silently lost isolation.
+        """
+        report = super().check_invariants()
+        for tid, txn in self._txns.items():
+            for block in txn.read_set:
+                if not txn.read_sig.test(block):
+                    raise TransactionError(
+                        f"txn {tid} read block {block:#x} missing from "
+                        f"its read signature (false negative)"
+                    )
+            for block in txn.write_set:
+                if not txn.write_sig.test(block):
+                    raise TransactionError(
+                        f"txn {tid} wrote block {block:#x} missing from "
+                        f"its write signature (false negative)"
+                    )
+        report["checks"] = list(report["checks"]) + ["signature_superset"]
+        report["live_txns"] = len(self._txns)
+        return report
+
     def signature_fill(self, tid: int) -> Tuple[float, float]:
         """(read, write) signature fill ratios, for diagnostics."""
         txn = self._txns.get(tid)

@@ -356,3 +356,34 @@ class OneTM(HTM, CoherenceListener):
     def write_set_size(self, tid: int) -> int:
         txn = self._txns.get(tid)
         return len(txn.write_set) if txn else 0
+
+    def check_invariants(self) -> Dict[str, object]:
+        """Coherence audit plus overflow-token uniqueness.
+
+        OneTM's whole design rests on a single machine-wide overflow
+        token: at most one live transaction may be overflowed, and the
+        token holder must be that transaction.
+        """
+        report = super().check_invariants()
+        overflowed = [tid for tid, txn in self._txns.items()
+                      if txn.overflowed]
+        if len(overflowed) > 1:
+            raise TransactionError(
+                f"multiple overflowed transactions hold the single "
+                f"overflow token: {sorted(overflowed)}"
+            )
+        holder = self._overflow_holder
+        if holder is not None and overflowed != [holder]:
+            raise TransactionError(
+                f"overflow token holder {holder} does not match the "
+                f"overflowed transaction set {sorted(overflowed)}"
+            )
+        if holder is None and overflowed:
+            raise TransactionError(
+                f"transaction {overflowed[0]} overflowed without "
+                f"holding the overflow token"
+            )
+        report["checks"] = list(report["checks"]) + ["overflow_token"]
+        report["live_txns"] = len(self._txns)
+        report["overflowed"] = len(overflowed)
+        return report

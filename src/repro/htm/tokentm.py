@@ -48,7 +48,7 @@ from repro.coherence.protocol import (
     CoherenceListener,
     MemorySystem,
 )
-from repro.core.bookkeeping import audit_books
+from repro.core.bookkeeping import AuditReport, audit_books
 from repro.core.fastrelease import FastReleaseUnit
 from repro.core.fission import fission, fuse
 from repro.core.metabits import CacheMetabits
@@ -729,8 +729,12 @@ class TokenTM(HTM, CoherenceListener):
     # Invariant audit
     # ------------------------------------------------------------------
 
-    def audit(self) -> None:
-        """Coherence audit plus the double-entry books (Section 3.2)."""
+    def audit(self) -> AuditReport:
+        """Coherence audit plus the double-entry books (Section 3.2).
+
+        Returns the :class:`AuditReport` so monitor paths can surface
+        how much was checked; raises on the first imbalance.
+        """
         super().audit()
         if self._pending:
             raise BookkeepingError(
@@ -745,4 +749,43 @@ class TokenTM(HTM, CoherenceListener):
                 if meta.total:
                     shards.setdefault(line.block, []).append(meta)
         live_logs = [self._logs[tid] for tid in self._txns]
-        audit_books(shards, live_logs, self._tpb)
+        return audit_books(shards, live_logs, self._tpb)
+
+    def check_invariants(self) -> Dict[str, object]:
+        """Token conservation, pending drains, and undo-log shape.
+
+        Beyond :meth:`audit` (coherence + double-entry books), checks
+        that every live transaction's log credits stay within its
+        read/write sets and that written blocks credit exactly the
+        full T tokens — the undo log and the token log are one
+        structure, so a mismatch means replayed undo records would
+        touch blocks the transaction never isolated.
+        """
+        report = self.audit()
+        tpb = self._tpb
+        for tid, txn in self._txns.items():
+            log = self._logs.get(tid)
+            if log is None:
+                raise BookkeepingError(f"live txn {tid} has no TmLog")
+            credits = log.token_credits()
+            touched = txn.read_set | txn.write_set
+            stray = set(credits) - touched
+            if stray:
+                raise BookkeepingError(
+                    f"txn {tid} logged credits for blocks outside its "
+                    f"read/write sets: {sorted(stray)[:8]}"
+                )
+            for block in txn.write_set:
+                if credits.get(block, 0) != tpb:
+                    raise BookkeepingError(
+                        f"txn {tid} wrote block {block:#x} but credits "
+                        f"{credits.get(block, 0)}/{tpb} tokens"
+                    )
+        return {
+            "checks": ["coherence", "pending_drained", "token_books",
+                       "undo_log"],
+            "audit": {"ok": report.ok,
+                      "blocks_checked": report.blocks_checked,
+                      "imbalances": len(report.imbalances)},
+            "live_txns": len(self._txns),
+        }

@@ -149,3 +149,44 @@ class TiledTopology:
     def latency(self, hops: int) -> int:
         """Cycles for a one-way message crossing ``hops`` tiles."""
         return hops * self._config.latency.hop
+
+    # -- fault injection --------------------------------------------------
+
+    def apply_jitter(self, rng, amplitude: int) -> None:
+        """Add per-link latency noise (fault injection).
+
+        Rebuilds the precomputed latency tables as
+        ``hops * hop + U[0, amplitude]`` per entry, so the cost stays
+        a table lookup on the access path — zero overhead when jitter
+        is never applied, and deterministic given the caller's seeded
+        ``rng``.  Idempotent in structure: every call re-derives from
+        the hop tables, so repeated jitter does not accumulate.
+        """
+        if amplitude < 0:
+            raise ConfigError(f"jitter amplitude must be >= 0: {amplitude}")
+        hop = self._config.latency.hop
+        self._core_bank_lat = [
+            [hops * hop + rng.randint(0, amplitude) for hops in row]
+            for row in self._core_bank_hops
+        ]
+        self._core_core_lat = [
+            [hops * hop + rng.randint(0, amplitude) for hops in row]
+            for row in self._core_core_hops
+        ]
+        self._bank_mc_lat = [
+            [hops * hop + rng.randint(0, amplitude) for hops in row]
+            for row in self._bank_mc_hops
+        ]
+
+    def clear_jitter(self) -> None:
+        """Restore the noise-free latency tables."""
+        hop = self._config.latency.hop
+        self._core_bank_lat = [
+            [hops * hop for hops in row] for row in self._core_bank_hops
+        ]
+        self._core_core_lat = [
+            [hops * hop for hops in row] for row in self._core_core_hops
+        ]
+        self._bank_mc_lat = [
+            [hops * hop for hops in row] for row in self._bank_mc_hops
+        ]

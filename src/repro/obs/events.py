@@ -51,6 +51,10 @@ class EventKind(Enum):
     CTX_SWITCH = "ctx_switch"
     PAGE_OUT = "page_out"
     PAGE_IN = "page_in"
+    # -- fault injection & invariant monitoring (faults/)
+    FAULT_INJECT = "fault_inject"
+    INVARIANT_CHECK = "invariant_check"
+    INVARIANT_VIOLATION = "invariant_violation"
 
 
 #: String values accepted in serialized traces.

@@ -13,9 +13,14 @@ Measures two things and writes both to ``BENCH_perf.json``:
   hit filter + HTM read/write-set short-circuit) vs. the unfiltered
   machine (:func:`repro.perf.legacy.unfiltered_memory_system`) on an
   identical repeat-access-heavy transaction mix, with an
-  identical-statistics cross-check.
+  identical-statistics cross-check;
+* **faults-path microbenchmark** — the shipped executor (NULL
+  injector/monitor defaults) vs. the frozen pre-faults scheduling
+  loop (:class:`repro.perf.legacy.PreFaultsExecutor`), proving the
+  disabled faults subsystem is zero-cost (CI asserts the overhead
+  stays under 2%).
 
-Schema of ``BENCH_perf.json`` (``repro-bench-perf/2``, documented in
+Schema of ``BENCH_perf.json`` (``repro-bench-perf/3``, documented in
 ``docs/performance.md``):
 
 ``schema``        schema identifier string;
@@ -32,6 +37,9 @@ Schema of ``BENCH_perf.json`` (``repro-bench-perf/2``, documented in
 ``membench``      accesses, rounds, unfiltered/filtered ops-per-sec,
                   ``speedup``, ``identical_stats``, and the filtered
                   run's fast-path counter snapshot (``fastpath``);
+``faultbench``    trace_ops, rounds, prefaults/null ops-per-sec,
+                  ``overhead`` (null wall / pre-faults wall) and an
+                  identical-statistics cross-check;
 ``parallel``      optional serial-vs-parallel wall comparison
                   (``--compare-serial``) with a ``byte_identical``
                   stats check;
@@ -64,7 +72,11 @@ from repro.coherence.protocol import MemorySystem
 from repro.htm import make_htm
 from repro.obs.metrics import publish_fastpath
 from repro.perf.cache import ResultCache
-from repro.perf.legacy import LegacyExecutor, unfiltered_memory_system
+from repro.perf.legacy import (
+    LegacyExecutor,
+    PreFaultsExecutor,
+    unfiltered_memory_system,
+)
 from repro.perf.runner import CellSpec, ParallelRunner
 from repro.runtime.executor import Executor
 from repro.workloads import tm_workloads
@@ -81,7 +93,8 @@ from repro.workloads.trace import (
 #: Identifier written into every BENCH_perf.json.
 #: /2: added the memory-stack microbenchmark (``membench``), the
 #: ``config.fast_path`` flag, and ``perf.fastpath.*`` metrics.
-BENCH_SCHEMA = "repro-bench-perf/2"
+#: /3: added the faults-path microbenchmark (``faultbench``).
+BENCH_SCHEMA = "repro-bench-perf/3"
 
 #: Default output path, at the repo root like the other BENCH files.
 DEFAULT_OUT = "BENCH_perf.json"
@@ -352,9 +365,74 @@ def membench(rounds: int = 3, cores: int = MEM_CORES,
     }
 
 
-#: Alias for use inside :func:`run_bench`, whose ``membench`` boolean
-#: parameter shadows the function name.
+# ----------------------------------------------------------------------
+# Faults-path microbenchmark
+# ----------------------------------------------------------------------
+
+def faultbench(seed: int = 2008, rounds: int = 41,
+               scale: float = 0.35) -> Dict:
+    """Shipped NULL-injector path vs. the pre-faults scheduling loop.
+
+    Both arms run the identical conflict-free trace through the same
+    ``_run_quantum``; the only difference is the quantum-boundary
+    fault hook (one hoisted bool plus one branch per quantum) that
+    :class:`~repro.perf.legacy.PreFaultsExecutor` predates.  The two
+    runs must produce identical statistics (asserted), and CI asserts
+    ``overhead`` stays under 1.02 — the disabled faults subsystem
+    changes throughput by less than 2%.
+
+    ``overhead`` is the *median of paired per-round ratios*: the arms
+    run back-to-back within each round (alternating which goes
+    first), so a machine-load drift hits both sides of a pair roughly
+    equally and cancels in the ratio, where a best-of-each-arm
+    quotient would keep it.  Defaults favour *many short rounds* over
+    few long ones — with a true overhead near zero, what the median
+    needs is sample count, and the median of 41 paired ratios sits
+    within a fraction of a percent run to run where a handful of long
+    rounds can wander past the CI threshold on a loaded machine.
+    """
+    trace = micro_trace(txns=max(1, int(MICRO_TXNS * scale)))
+    ops = trace.total_ops()
+    _micro_run(Executor, trace, seed)  # warmup (allocator, caches)
+    best_pre = best_null = float("inf")
+    pre_stats = null_stats = None
+    ratios = []
+    for i in range(max(1, rounds)):
+        order = (PreFaultsExecutor, Executor) if i % 2 == 0 \
+            else (Executor, PreFaultsExecutor)
+        walls = {}
+        for cls in order:
+            walls[cls], stats = _micro_run(cls, trace, seed)
+            if cls is PreFaultsExecutor and walls[cls] < best_pre:
+                best_pre, pre_stats = walls[cls], stats
+            elif cls is Executor and walls[cls] < best_null:
+                best_null, null_stats = walls[cls], stats
+        ratios.append(walls[Executor] / walls[PreFaultsExecutor])
+    if pre_stats.snapshot() != null_stats.snapshot():
+        raise AssertionError(
+            "NULL-injector and pre-faults loops diverged on the "
+            "faultbench trace"
+        )
+    ratios.sort()
+    mid = len(ratios) // 2
+    overhead = ratios[mid] if len(ratios) % 2 else \
+        (ratios[mid - 1] + ratios[mid]) / 2
+    return {
+        "trace_ops": ops,
+        "rounds": rounds,
+        "prefaults_wall_seconds": best_pre,
+        "null_wall_seconds": best_null,
+        "prefaults_ops_per_sec": ops / best_pre,
+        "null_ops_per_sec": ops / best_null,
+        "overhead": overhead,
+        "identical_stats": True,
+    }
+
+
+#: Aliases for use inside :func:`run_bench`, whose ``membench`` /
+#: ``faultbench`` boolean parameters shadow the function names.
 _membench = membench
+_faultbench = faultbench
 
 
 # ----------------------------------------------------------------------
@@ -434,6 +512,7 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
               micro: bool = True,
               micro_rounds: int = 3,
               membench: bool = True,
+              faultbench: bool = True,
               fast_path: bool = True) -> Dict:
     """Run the harness and write ``BENCH_perf.json``; returns payload."""
     specs = bench_specs(quick=quick, seed=seed,
@@ -480,6 +559,11 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
                                   scale=0.5 if quick else 1.0)
                        if micro else None),
         "membench": mem_payload,
+        # Not scaled down under --quick either: best-of-rounds on the
+        # full trace is what keeps the 2% CI assertion noise-proof.
+        "faultbench": (_faultbench(seed=seed,
+                                   rounds=max(41, micro_rounds))
+                       if faultbench else None),
         "parallel": (compare_serial_parallel(specs, workers)
                      if compare_serial and workers > 1 else None),
         "metrics": metrics,
@@ -513,6 +597,14 @@ def format_bench_summary(payload: Dict) -> str:
             f"{mem['unfiltered_ops_per_sec']:,.0f} "
             f"(speedup {mem['speedup']:.2f}x, "
             f"identical={mem['identical_stats']})"
+        )
+    fb = payload.get("faultbench")
+    if fb:
+        lines.append(
+            f"faults path: NULL {fb['null_ops_per_sec']:,.0f} ops/sec "
+            f"vs pre-faults {fb['prefaults_ops_per_sec']:,.0f} "
+            f"(overhead {100.0 * (fb['overhead'] - 1):+.2f}%, "
+            f"identical={fb['identical_stats']})"
         )
     par = payload.get("parallel")
     if par:

@@ -34,7 +34,10 @@ from typing import Any, Dict, Optional
 #: Version folded into every key.  Bump on behavioural changes that
 #: the key payload itself does not capture (e.g. executor semantics).
 #: 2: CellSpec payload grew a ``fast_path`` field (access filters).
-CACHE_SCHEMA = 2
+#: 3: CellSpec payload grew ``faults`` / ``monitor`` fields: chaos
+#:    runs must never share entries with clean runs (and pre-faults
+#:    entries never answer post-faults requests).
+CACHE_SCHEMA = 3
 
 #: Default cache directory (overridable via the environment).
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"

@@ -12,13 +12,18 @@ The same role is played for the memory system by
 :func:`unfiltered_memory_system`: a machine with the PR's access
 filters disabled, which ``repro bench``'s memory-stack
 microbenchmark times against the filtered default (and whose
-statistics the filtered run must match exactly).
+statistics the filtered run must match exactly) — and for the faults
+subsystem by :class:`PreFaultsExecutor`: the scheduling loop exactly
+as it was before quantum-boundary fault hooks existed, which the
+``faultbench`` section times against the shipped NULL-injector path
+to prove the disabled subsystem costs nothing.
 
 Nothing outside the benchmark harness should use this module.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Optional
 
 from repro.common.config import SystemConfig
@@ -94,6 +99,31 @@ class LegacyExecutor(Executor):
             thread.pc += 1
             return
         self._resolve_conflict(thread, outcome.conflict)
+
+
+class PreFaultsExecutor(Executor):
+    """Executor with the pre-faults dedicated scheduling loop.
+
+    A faithful copy of ``_run_dedicated`` from before the faults
+    subsystem added its quantum-boundary hook: no ``faults_on``
+    hoist, no boundary call.  The ``faultbench`` section runs the
+    same trace through this and the shipped executor (whose injector
+    and monitor are the NULL defaults) — the ratio is the true cost
+    of the disabled faults path.  Dedicated mode only; the benchmark
+    trace never time-shares.
+    """
+
+    def _run_dedicated(self) -> None:
+        heap = [(t.clock, t.tid) for t in self._threads if not t.done]
+        heapq.heapify(heap)
+        while heap:
+            _, tid = heapq.heappop(heap)
+            thread = self._by_tid[tid]
+            if thread.done:
+                continue
+            self._run_quantum(thread)
+            if not thread.done:
+                heapq.heappush(heap, (thread.clock, thread.tid))
 
 
 def unfiltered_memory_system(

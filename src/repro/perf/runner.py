@@ -32,6 +32,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import Cell, run_cell
 from repro.common.config import HTMConfig, SystemConfig
+from repro.faults.monitor import InvariantMonitor
+from repro.faults.plan import FaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.perf.cache import ResultCache, cell_key
 from repro.workloads.base import SyntheticTxnWorkload, TxnWorkloadSpec
@@ -57,6 +59,14 @@ class CellSpec:
     #: in the cache key so a --no-fastpath verification run never
     #: gets answered from a fast-path cache entry (and vice versa).
     fast_path: bool = True
+    #: Canonical JSON of the injected fault plan (None = clean run).
+    #: Faults perturb results, so this is cache-key material: a chaos
+    #: cell can never be answered from a clean run's entry, nor a
+    #: clean cell from a chaos entry.
+    faults: Optional[str] = None
+    #: Run the invariant monitor (adds a ``monitor`` stats section,
+    #: hence also key material).
+    monitor: bool = False
 
     def payload(self) -> Dict[str, object]:
         """Key material for :func:`repro.perf.cache.cell_key`."""
@@ -69,7 +79,15 @@ class CellSpec:
             "system": self.system,
             "htm": self.htm,
             "fast_path": self.fast_path,
+            "faults": self.faults,
+            "monitor": self.monitor,
         }
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The fault plan this cell injects, or None for clean runs."""
+        if self.faults is None:
+            return None
+        return FaultPlan.from_canonical(self.faults)
 
 
 def grid_specs(workloads: Iterable[SyntheticTxnWorkload],
@@ -79,13 +97,18 @@ def grid_specs(workloads: Iterable[SyntheticTxnWorkload],
                threads: Optional[int] = None,
                system: Optional[SystemConfig] = None,
                htm: Optional[HTMConfig] = None,
-               fast_path: bool = True) -> List[CellSpec]:
+               fast_path: bool = True,
+               faults: Optional[FaultPlan] = None,
+               monitor: bool = False) -> List[CellSpec]:
     """The full cross product, in deterministic (wl, seed, variant) order."""
     sys_cfg = system or SystemConfig()
     htm_cfg = htm or HTMConfig()
+    plan_json = faults.canonical_json() if faults is not None \
+        and faults.specs else None
     return [
         CellSpec(wl.spec, variant, seed=seed, scale=scale, threads=threads,
-                 system=sys_cfg, htm=htm_cfg, fast_path=fast_path)
+                 system=sys_cfg, htm=htm_cfg, fast_path=fast_path,
+                 faults=plan_json, monitor=monitor)
         for wl in workloads
         for seed in seeds
         for variant in variants
@@ -99,7 +122,9 @@ def _simulate(spec: CellSpec) -> Tuple[Cell, float]:
     cell = run_cell(workload, spec.variant, scale=spec.scale,
                     seed=spec.seed, threads=spec.threads,
                     system=spec.system, htm_config=spec.htm,
-                    fast_path=spec.fast_path)
+                    fast_path=spec.fast_path,
+                    faults=spec.fault_plan(),
+                    monitor=InvariantMonitor() if spec.monitor else None)
     return cell, perf_counter() - start
 
 

@@ -134,6 +134,16 @@ class ContentionPolicy:
         ceiling = min(self._config.max_backoff, 32 << exp)
         return self._jitter(ceiling)
 
+    def spurious_nack_delay(self) -> int:
+        """Cycles charged for a fault-injected spurious NACK.
+
+        Fault injection models a transient interconnect NACK (a
+        retried coherence request that was never really conflicting):
+        the thread just loses a short, jittered stall.  Uses the same
+        policy RNG as the real delays so replays are deterministic.
+        """
+        return self._jitter(40)
+
     def _jitter(self, ceiling: int) -> int:
         ceiling = max(2, ceiling)
         return self._rng.randint(ceiling // 2, ceiling)

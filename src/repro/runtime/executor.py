@@ -21,6 +21,8 @@ from typing import Dict, List, Optional
 
 from repro.common.config import RunConfig
 from repro.common.errors import SimulationError
+from repro.faults.injector import NULL_INJECTOR
+from repro.faults.monitor import NULL_MONITOR
 from repro.htm.base import HTM, ConflictKind
 from repro.obs.events import AbortCause, EventBus, EventKind
 from repro.runtime.contention import Resolution, TimestampManager
@@ -98,7 +100,9 @@ class Executor:
                  preemptive: Optional[bool] = None,
                  timeslice: int = 50_000,
                  policy: Optional[TimestampManager] = None,
-                 bus: Optional[EventBus] = None):
+                 bus: Optional[EventBus] = None,
+                 injector=None,
+                 monitor=None):
         if validate:
             validate_trace(trace)
         ncores = htm.mem.config.num_cores
@@ -136,6 +140,11 @@ class Executor:
         self._begin_seq = 0
         self._history = HistoryValidator(enabled=track_history)
         self._record_history = self._history.enabled
+        #: Fault injection & invariant monitoring (repro.faults): the
+        #: NULL defaults keep the disabled path at one attribute load
+        #: plus branch per quantum boundary, like NULL_BUS.
+        self._injector = injector if injector is not None else NULL_INJECTOR
+        self._monitor = monitor if monitor is not None else NULL_MONITOR
         self._commit_budget = config.max_commits
         self._audit = config.audit
         # Opcode dispatch table: the quantum loop indexes this list
@@ -172,11 +181,16 @@ class Executor:
         )
         if self._audit:
             self._htm.audit()
+        if self._injector.enabled:
+            stats.faults = self._injector.snapshot()
+        if self._monitor.enabled:
+            stats.monitor = self._monitor.finalize(self)
         self._history.finish()
         return RunResult(stats=stats, history=self._history)
 
     def _run_dedicated(self) -> None:
         """One thread per core: min-clock quantum interleaving."""
+        faults_on = self._injector.enabled or self._monitor.enabled
         heap = [(t.clock, t.tid) for t in self._threads if not t.done]
         heapq.heapify(heap)
         while heap:
@@ -185,6 +199,8 @@ class Executor:
             if thread.done:
                 continue
             self._run_quantum(thread)
+            if faults_on:
+                self._quantum_boundary(thread)
             if not thread.done:
                 heapq.heappush(heap, (thread.clock, thread.tid))
 
@@ -200,6 +216,7 @@ class Executor:
         """
         lat = self._htm.mem.config.latency
         ncores = self._htm.mem.config.num_cores
+        faults_on = self._injector.enabled or self._monitor.enabled
         core_free = [0] * ncores
         core_thread: List[Optional[int]] = [None] * ncores
         # Min-heap of (free_at, core) so finding the earliest-free core
@@ -244,6 +261,8 @@ class Executor:
             deadline = thread.clock + self._timeslice
             while not thread.done and thread.clock < deadline:
                 self._run_quantum(thread)
+                if faults_on:
+                    self._quantum_boundary(thread)
             core_free[core] = thread.clock
             heapq.heappush(free_heap, (thread.clock, core))
             if not thread.done:
@@ -322,6 +341,111 @@ class Executor:
                 return
         thread.clock = clock
         thread.pc = pc
+
+    # ------------------------------------------------------------------
+    # Fault injection & invariant monitoring (repro.faults)
+    # ------------------------------------------------------------------
+
+    @property
+    def htm(self) -> HTM:
+        """The machine under execution (monitor/injector access)."""
+        return self._htm
+
+    @property
+    def history(self) -> HistoryValidator:
+        """The commit history recorder (serializability oracle input)."""
+        return self._history
+
+    @property
+    def quantum(self) -> int:
+        """Scheduler quantum (the natural cross-thread clock skew)."""
+        return self._quantum
+
+    def _quantum_boundary(self, thread: _Thread) -> None:
+        """Drive the injector and monitor after one thread's quantum.
+
+        Only reached when at least one of them is enabled; the
+        scheduling loops hoist that check into a local so the default
+        path pays a single branch per quantum.
+        """
+        if self._bus.enabled:
+            self._bus.now = thread.clock
+        if self._injector.enabled:
+            self._injector.on_quantum(self, thread)
+        if self._monitor.enabled:
+            self._monitor.on_quantum(self)
+
+    def fault_preempt(self, thread: _Thread) -> bool:
+        """Injected forced preemption: deschedule + immediately resume.
+
+        Issues the HTM's context-switch instruction (the flash-OR on
+        TokenTM, which costs the thread its fast-release eligibility)
+        and charges the OS switch latency, exactly as the preemptive
+        scheduler does when a core changes occupant.
+        """
+        lat = self._htm.mem.config.latency
+        cost = self._htm.context_switch(thread.core)
+        self._htm.schedule(thread.core, thread.tid)
+        thread.clock += cost + lat.os_switch
+        self._stats.preemptions += 1
+        if self._bus.enabled:
+            self._bus.emit(EventKind.CTX_SWITCH, cycle=thread.clock,
+                           tid=thread.tid, core=thread.core,
+                           previous_tid=thread.tid, injected=True)
+        return True
+
+    def fault_migrate(self, thread: _Thread, rng) -> bool:
+        """Injected migration to a free core (dedicated mode).
+
+        Under the preemptive scheduler cores are reassigned at every
+        dispatch, so migration degenerates to a forced preemption and
+        the natural machinery does the rest.  In dedicated mode the
+        thread moves to an rng-chosen unoccupied core (falling back
+        to preemption when none is free).
+        """
+        if self._preemptive:
+            return self.fault_preempt(thread)
+        ncores = self._htm.mem.config.num_cores
+        occupied = {t.core for t in self._threads if not t.done}
+        free = [c for c in range(ncores) if c not in occupied]
+        if not free:
+            return self.fault_preempt(thread)
+        target = free[rng.randrange(len(free))]
+        lat = self._htm.mem.config.latency
+        cost = self._htm.context_switch(thread.core)
+        thread.core = target
+        self._htm.schedule(target, thread.tid)
+        thread.clock += cost + lat.os_switch
+        self._stats.preemptions += 1
+        if self._bus.enabled:
+            self._bus.emit(EventKind.CTX_SWITCH, cycle=thread.clock,
+                           tid=thread.tid, core=target,
+                           previous_tid=thread.tid, injected=True)
+        return True
+
+    def fault_spurious_abort(self, rng) -> bool:
+        """Injected contention-manager kill of a random live txn.
+
+        The victim is doomed exactly like a lost conflict: it aborts
+        (cause CM_KILL) at its next step, undoing its writes and
+        releasing its tokens through the ordinary abort path.
+        """
+        candidates = [t for t in self._threads
+                      if t.in_txn and not t.done
+                      and t.doomed_epoch != t.txn_epoch]
+        if not candidates:
+            return False
+        victim = candidates[rng.randrange(len(candidates))]
+        victim.doomed_epoch = victim.txn_epoch
+        return True
+
+    def fault_spurious_nack(self, thread: _Thread) -> bool:
+        """Injected transient NACK: a short stall, properly accounted."""
+        delay = self._manager.spurious_nack_delay()
+        thread.clock += delay
+        self._stats.stall_events += 1
+        self._stats.stall_cycles += delay
+        return True
 
     def _op_compute(self, thread: _Thread, cycles: int) -> None:
         """COMPUTE/SYSCALL: advance the local clock (table fallback)."""

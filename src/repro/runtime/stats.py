@@ -71,6 +71,12 @@ class RunStats:
     software: ReleaseBucket = field(default_factory=ReleaseBucket)
     #: Copied from the machine's HTMStats at run end.
     machine: Dict[str, int] = field(default_factory=dict)
+    #: Fault-injection summary (injector snapshot); None on clean runs
+    #: so default-path snapshots stay byte-identical.
+    faults: Optional[Dict[str, object]] = None
+    #: Invariant-monitor summary (checks run, violations, last audit
+    #: report); None when the monitor was off.
+    monitor: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
 
@@ -121,8 +127,13 @@ class RunStats:
         return self.aborts / attempts if attempts else 0.0
 
     def snapshot(self) -> Dict[str, object]:
-        """Flat dict for table formatting / JSON dumps."""
-        return {
+        """Flat dict for table formatting / JSON dumps.
+
+        The ``faults`` / ``monitor`` keys appear only when fault
+        injection or monitoring ran: snapshots of clean runs are
+        byte-identical to builds without the faults subsystem.
+        """
+        out = {
             "workload": self.workload,
             "variant": self.variant,
             "makespan": self.makespan,
@@ -142,6 +153,11 @@ class RunStats:
             "backoff_cycles": self.backoff_cycles,
             "machine": dict(self.machine),
         }
+        if self.faults is not None:
+            out["faults"] = dict(self.faults)
+        if self.monitor is not None:
+            out["monitor"] = dict(self.monitor)
+        return out
 
 
 def speedup(baseline: RunStats, other: RunStats) -> float:

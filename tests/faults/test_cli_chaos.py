@@ -1,0 +1,89 @@
+"""CLI: ``repro chaos`` and the ``repro run`` fault/monitor flags."""
+
+import json
+import os
+
+from repro.cli import main
+from repro.faults.plan import FaultPlan, FaultSpec
+
+
+def _write_plan(tmp_path, specs):
+    path = tmp_path / "plan.json"
+    FaultPlan(specs=tuple(specs), name="test").save(str(path))
+    return str(path)
+
+
+class TestChaosCommand:
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        rc = main(["chaos", "--seeds", "1", "--variants", "tokentm",
+                   "--scale", "0.002", "--out-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all invariants held" in out
+
+    def test_mutant_campaign_exits_nonzero_and_bundles(self, tmp_path,
+                                                       capsys):
+        out_dir = str(tmp_path / "bundles")
+        rc = main(["chaos", "--seeds", "1", "--variants", "tokentm",
+                   "--scale", "0.002", "--mutant", "token_leak",
+                   "--no-shrink", "--out-dir", out_dir])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "invariant violations detected" in captured.err
+        bundles = os.listdir(out_dir)
+        assert bundles, "failing campaign wrote no repro bundle"
+        bundle_path = os.path.join(out_dir, bundles[0])
+
+        # The bundle replays to the same failure through the CLI.
+        rc = main(["chaos", "--replay", bundle_path])
+        replayed = capsys.readouterr()
+        assert rc == 0
+        assert "replay reproduced" in replayed.out
+        assert "matches recorded failure" in replayed.err
+
+    def test_json_output(self, tmp_path, capsys):
+        rc = main(["chaos", "--seeds", "1", "--variants", "tokentm",
+                   "--scale", "0.002", "--out-dir", str(tmp_path),
+                   "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert payload["failures"] == 0
+
+
+class TestRunFlags:
+    def test_monitor_flag_clean_run(self, capsys):
+        rc = main(["run", "Cholesky", "TokenTM", "--scale", "0.002",
+                   "--monitor"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "invariants: ok" in captured.err
+
+    def test_monitor_json_includes_summary(self, capsys):
+        rc = main(["run", "Cholesky", "TokenTM", "--scale", "0.002",
+                   "--monitor", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert payload["monitor"]["ok"] is True
+        assert payload["monitor"]["checks_run"] > 0
+
+    def test_faults_flag_reports_injections(self, tmp_path, capsys):
+        plan = _write_plan(tmp_path, [FaultSpec("preempt", every=4)])
+        rc = main(["run", "Cholesky", "TokenTM", "--scale", "0.002",
+                   "--faults", plan, "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert payload["faults"]["injected"].get("preempt", 0) > 0
+
+    def test_no_flags_output_unchanged(self, capsys):
+        # Clean runs must not mention faults or invariants at all.
+        rc = main(["run", "Cholesky", "TokenTM", "--scale", "0.002",
+                   "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert "faults" not in payload
+        assert "monitor" not in payload

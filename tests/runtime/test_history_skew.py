@@ -1,0 +1,106 @@
+"""check_serializable skew-tolerance edges (hand-built histories)."""
+
+import pytest
+
+from repro.common.config import HTMConfig, RunConfig, SystemConfig
+from repro.common.errors import SerializabilityError
+from repro.coherence.protocol import MemorySystem
+from repro.htm import make_htm
+from repro.runtime.executor import Executor
+from repro.runtime.history import HistoryValidator
+from repro.workloads import tm_workloads
+
+BLOCK = 0x40
+
+
+def _two_txn_history(s1, c1, s2, c2, w1=True, w2=True, t1=1, t2=2):
+    """Two committed transactions holding BLOCK over [s, c] windows."""
+    hv = HistoryValidator()
+    hv.begin(t1, s1)
+    hv.access(t1, BLOCK, is_write=w1, now=s1)
+    hv.commit(t1, c1)
+    hv.begin(t2, s2)
+    hv.access(t2, BLOCK, is_write=w2, now=s2)
+    hv.commit(t2, c2)
+    return hv
+
+
+class TestSkewBoundary:
+    def test_overlap_equal_to_skew_passes(self):
+        # Holds (0, 100) and (90, 200): overlap is exactly 10.
+        hv = _two_txn_history(0, 100, 90, 200)
+        hv.check_serializable(skew_tolerance=10)
+
+    def test_overlap_one_past_skew_fails(self):
+        hv = _two_txn_history(0, 100, 90, 200)
+        with pytest.raises(SerializabilityError, match="overlap 10"):
+            hv.check_serializable(skew_tolerance=9)
+
+    def test_exact_check_at_zero_skew(self):
+        # Adjacent windows (commit == next start) never overlap.
+        hv = _two_txn_history(0, 100, 100, 200)
+        hv.check_serializable(skew_tolerance=0)
+        # One cycle of true overlap is a violation under exact check.
+        hv = _two_txn_history(0, 100, 99, 200)
+        with pytest.raises(SerializabilityError, match="overlap 1"):
+            hv.check_serializable(skew_tolerance=0)
+
+    def test_instance_default_used_when_arg_omitted(self):
+        hv = HistoryValidator(skew_tolerance=10)
+        hv.begin(1, 0)
+        hv.access(1, BLOCK, is_write=True, now=0)
+        hv.commit(1, 100)
+        hv.begin(2, 90)
+        hv.access(2, BLOCK, is_write=True, now=90)
+        hv.commit(2, 200)
+        hv.check_serializable()  # overlap 10 == instance skew
+        with pytest.raises(SerializabilityError):
+            hv.check_serializable(skew_tolerance=0)
+
+
+class TestNonConflicts:
+    def test_same_tid_never_conflicts(self):
+        hv = _two_txn_history(0, 100, 50, 200, t1=1, t2=1)
+        hv.check_serializable(skew_tolerance=0)
+
+    def test_reader_reader_never_conflicts(self):
+        hv = _two_txn_history(0, 100, 50, 200, w1=False, w2=False)
+        hv.check_serializable(skew_tolerance=0)
+
+    def test_reader_writer_conflicts(self):
+        hv = _two_txn_history(0, 100, 50, 200, w1=False, w2=True)
+        with pytest.raises(SerializabilityError):
+            hv.check_serializable(skew_tolerance=0)
+
+    def test_read_then_write_contributes_two_holds(self):
+        hv = HistoryValidator()
+        hv.begin(1, 0)
+        hv.access(1, BLOCK, is_write=False, now=0)
+        hv.access(1, BLOCK, is_write=True, now=60)
+        hv.commit(1, 100)
+        # A reader overlapping only the shared (read) hold of txn 1
+        # still conflicts with txn 1's exclusive write hold.
+        hv.begin(2, 10)
+        hv.access(2, BLOCK, is_write=False, now=10)
+        hv.commit(2, 70)
+        with pytest.raises(SerializabilityError):
+            hv.check_serializable(skew_tolerance=0)
+
+
+class TestExecutorQuantumSkew:
+    def test_quantum_one_run_is_exactly_serializable(self):
+        # At quantum=1 the executor's thread clocks stay in lockstep,
+        # so the history must pass the *exact* check (skew 0 would be
+        # the natural tolerance at quantum 1).
+        sys_cfg = SystemConfig()
+        htm_cfg = HTMConfig()
+        htm = make_htm("TokenTM", MemorySystem(sys_cfg), htm_cfg)
+        trace = tm_workloads()["Cholesky"].generate(
+            seed=11, scale=0.002, threads=sys_cfg.num_cores
+        )
+        executor = Executor(htm, trace,
+                            RunConfig(system=sys_cfg, htm=htm_cfg, seed=11),
+                            quantum=1, validate=False, track_history=True)
+        executor.run()
+        assert executor.history.committed
+        executor.history.check_serializable(skew_tolerance=1)
