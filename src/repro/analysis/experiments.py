@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.ci import Estimate, confidence_interval
 from repro.common.config import HTMConfig, RunConfig, SystemConfig
+from repro.common.errors import IncompleteGridError
 from repro.common.rng import perturbation_seeds
 from repro.coherence.protocol import MemorySystem
 from repro.faults.injector import FaultInjector
@@ -64,6 +65,29 @@ class Cell:
     variant: str
     seed: int
     stats: RunStats
+
+
+def _require_complete(cells: Sequence[Optional[Cell]],
+                      specs: Sequence) -> List[Cell]:
+    """Reject result lists with ``None`` holes.
+
+    :class:`~repro.perf.runner.ParallelRunner` already raises rather
+    than returning holes; this guard keeps the figure/table builders
+    honest against *any* runner implementation — a plotted figure
+    must never silently omit a cell that failed to simulate.
+    """
+    holes = [i for i, cell in enumerate(cells) if cell is None]
+    if holes:
+        described = ", ".join(
+            f"{specs[i].workload.name}/{specs[i].variant}"
+            f"/s{specs[i].seed}" for i in holes[:6])
+        raise IncompleteGridError(
+            f"runner returned no result for {len(holes)} of "
+            f"{len(cells)} cells ({described}"
+            + (", ..." if len(holes) > 6 else "") + ")",
+            results=list(cells),
+        )
+    return list(cells)
 
 
 def run_trace(trace: WorkloadTrace, variant: str,
@@ -144,7 +168,8 @@ def run_variants(workload: SyntheticTxnWorkload,
         specs = grid_specs([workload], tuple(variants), seeds=(seed,),
                            scale=scale, threads=threads, system=system,
                            htm=htm_config, fast_path=fast_path)
-        return dict(zip(variants, runner.run_cells(specs)))
+        cells = _require_complete(runner.run_cells(specs), specs)
+        return dict(zip(variants, cells))
     return {
         v: run_cell(workload, v, scale=scale, seed=seed, threads=threads,
                     system=system, htm_config=htm_config,
@@ -188,11 +213,12 @@ def figure_speedups(workload: SyntheticTxnWorkload,
     if runner is not None:
         from repro.perf.runner import grid_specs  # local: avoids cycle
 
-        flat = runner.run_cells(grid_specs(
+        specs = grid_specs(
             [workload], tuple(variants), seeds=tuple(seeds), scale=scale,
             threads=threads, system=system, htm=htm_config,
             fast_path=fast_path,
-        ))
+        )
+        flat = _require_complete(runner.run_cells(specs), specs)
         nv = len(variants)
         rounds = [dict(zip(variants, flat[i * nv:(i + 1) * nv]))
                   for i in range(len(seeds))]

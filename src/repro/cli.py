@@ -23,8 +23,13 @@ Commands map one-to-one onto the paper's experiments:
 Every command takes ``--seed`` and (where it applies) ``--scale`` so
 results are reproducible and sized to taste.  The grid commands
 (``figure1``/``figure5``/``bench``) take ``--workers`` to fan cells
-out over processes and ``--cache-dir`` to reuse finished cells across
-invocations.
+out over processes, ``--cache-dir`` to reuse finished cells across
+invocations, and the supervision flags
+(``--cell-timeout``/``--max-retries``/``--failure-policy``) to
+survive hung or dying workers (``docs/robustness.md``, "Surviving
+the host").  ``chaos`` checkpoints campaigns with
+``--journal``/``--resume``/``--max-cells``; an interrupted campaign
+exits 3 and resumes from the last finished cell.
 """
 
 from __future__ import annotations
@@ -33,6 +38,8 @@ import argparse
 import json
 import sys
 from typing import List, Optional
+
+from repro.common.errors import ConfigError, IncompleteGridError
 
 from repro.analysis.experiments import (
     FIGURE1_VARIANTS,
@@ -238,15 +245,35 @@ def cmd_table6(args) -> int:
     return 0
 
 
-def _runner_from_args(args):
-    """Optional ParallelRunner built from ``--workers``/``--cache-dir``.
+def _supervisor_from_args(args):
+    """Optional SupervisorConfig built from the supervision flags.
 
-    Returns None when neither was given, so the default path stays
+    Returns None when every flag is at its default — the runner then
+    uses the zero-cost default config (fail-fast, no timeout, no
+    retries), keeping clean runs byte-identical.
+    """
+    timeout = getattr(args, "cell_timeout", None)
+    retries = getattr(args, "max_retries", 0) or 0
+    policy = getattr(args, "failure_policy", None)
+    if timeout is None and not retries and policy is None:
+        return None
+    from repro.perf.supervise import FAIL_FAST, SupervisorConfig
+
+    return SupervisorConfig(timeout=timeout, retries=retries,
+                            failure_policy=policy or FAIL_FAST)
+
+
+def _runner_from_args(args):
+    """Optional ParallelRunner built from ``--workers``/``--cache-dir``
+    and the supervision flags.
+
+    Returns None when none were given, so the default path stays
     import-free and inline.
     """
     workers = getattr(args, "workers", 0) or 0
     cache_dir = getattr(args, "cache_dir", None)
-    if not workers and not cache_dir:
+    supervisor = _supervisor_from_args(args)
+    if not workers and not cache_dir and supervisor is None:
         return None
     from repro.perf.cache import ResultCache
     from repro.perf.runner import ParallelRunner, default_workers
@@ -254,7 +281,16 @@ def _runner_from_args(args):
     if workers < 0:
         workers = default_workers()
     cache = ResultCache(cache_dir) if cache_dir else None
-    return ParallelRunner(workers=workers, cache=cache)
+    return ParallelRunner(workers=workers, cache=cache,
+                          supervisor=supervisor)
+
+
+def _print_incomplete(exc: IncompleteGridError) -> None:
+    """Surface a failed grid: the structured report, then the error."""
+    report = getattr(exc, "report", None)
+    if report is not None:
+        print(report.format(), file=sys.stderr)
+    print(f"error: {exc}", file=sys.stderr)
 
 
 def _figure(args, variants, title: str) -> int:
@@ -270,6 +306,9 @@ def _figure(args, variants, title: str) -> int:
                 seed=args.seed, runner=runner,
                 fast_path=not args.no_fastpath,
             ))
+    except IncompleteGridError as exc:
+        _print_incomplete(exc)
+        return 1
     finally:
         if runner is not None:
             runner.close()
@@ -304,17 +343,31 @@ def cmd_bench(args) -> int:
     workers = args.workers
     if workers < 0:
         workers = default_workers()
-    payload = run_bench(
-        out=args.out, quick=args.quick, seed=args.seed, workers=workers,
-        workload_names=args.workloads, variants=args.variants,
-        scale_factor=args.scale_factor, cache_dir=args.cache_dir,
-        compare_serial=args.compare_serial, micro=not args.no_micro,
-        micro_rounds=args.micro_rounds,
-        membench=not args.no_membench,
-        fast_path=not args.no_fastpath,
-    )
+    try:
+        payload = run_bench(
+            out=args.out, quick=args.quick, seed=args.seed,
+            workers=workers,
+            workload_names=args.workloads, variants=args.variants,
+            scale_factor=args.scale_factor, cache_dir=args.cache_dir,
+            compare_serial=args.compare_serial, micro=not args.no_micro,
+            micro_rounds=args.micro_rounds,
+            membench=not args.no_membench,
+            fast_path=not args.no_fastpath,
+            supervisor=_supervisor_from_args(args),
+        )
+    except IncompleteGridError as exc:
+        _print_incomplete(exc)
+        return 1
     print(format_bench_summary(payload))
     print(f"wrote {args.out}")
+    # Under --failure-policy continue the grid completes with holes;
+    # the payload records them and the exit code must still say so.
+    grid_report = (payload.get("grid") or {}).get("report") or {}
+    rc = 0
+    if grid_report.get("failed"):
+        print(f"bench: {len(grid_report['failed'])} grid cells failed "
+              "(details in the report above)", file=sys.stderr)
+        rc = 1
     if args.baseline:
         from repro.perf.bench import check_regression, load_bench
 
@@ -326,13 +379,14 @@ def cmd_bench(args) -> int:
             return 1
         print(f"no regression vs {args.baseline} "
               f"(tolerance {args.regression_tolerance:.0%})")
-    return 0
+    return rc
 
 
 def cmd_chaos(args) -> int:
     from repro.faults.bundle import ReproBundle
     from repro.faults.campaign import replay_bundle, run_campaign
     from repro.faults.plan import FaultPlan, default_plan
+    from repro.perf.supervise import CampaignJournal, flush_on_signals
 
     if args.replay:
         bundle = ReproBundle.load(args.replay)
@@ -366,33 +420,77 @@ def cmd_chaos(args) -> int:
         print(f"  {cell.workload} / {cell.variant} seed {cell.seed}: "
               f"{status}")
 
+    journal_path = args.journal
+    if args.resume and not journal_path:
+        journal_path = "chaos-journal.jsonl"
+    journal = None
+    if journal_path:
+        try:
+            journal = CampaignJournal(journal_path, resume=args.resume)
+        except ConfigError as exc:
+            print(f"chaos: {exc}", file=sys.stderr)
+            return 2
+
     if not args.json:
         print(f"chaos campaign: {args.workload} x {variants} x "
               f"{len(seeds)} seeds, plan {plan.content_hash()} "
               f"({len(plan)} specs)"
               + (f", mutant {args.mutant}" if args.mutant else ""))
-    result = run_campaign(
-        workload=args.workload, variants=variants, seeds=seeds,
-        plan=plan, scale=args.scale, quantum=args.quantum,
-        cadence=args.cadence, mutant=args.mutant,
-        shrink=not args.no_shrink, out_dir=args.out_dir,
-        progress=None if args.json else progress,
-    )
+    try:
+        with flush_on_signals(journal):
+            result = run_campaign(
+                workload=args.workload, variants=variants, seeds=seeds,
+                plan=plan, scale=args.scale, quantum=args.quantum,
+                cadence=args.cadence, mutant=args.mutant,
+                shrink=not args.no_shrink, out_dir=args.out_dir,
+                progress=None if args.json else progress,
+                journal=journal, max_cells=args.max_cells,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
     summary = result.summary()
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
+        if result.resumed_cells:
+            print(f"resumed {result.resumed_cells} cells from "
+                  f"{journal_path}")
         print(f"{summary['cells']} cells, {summary['failures']} "
               f"failures")
         for path in summary["bundles"]:
             print(f"repro bundle: {path} "
                   f"(replay with `repro chaos --replay {path}`)")
+    if result.interrupted:
+        hint = (f"resume with `repro chaos --resume "
+                f"--journal {journal_path}`" if journal_path
+                else "no journal was kept; rerun from scratch")
+        print(f"chaos: campaign interrupted after "
+              f"{summary['cells']} cells; {hint}", file=sys.stderr)
+        return 3
     if not result.ok:
         print("chaos: invariant violations detected", file=sys.stderr)
         return 1
     if not args.json:
         print("chaos: all invariants held")
     return 0
+
+
+def _add_supervision_flags(p: argparse.ArgumentParser) -> None:
+    """Grid-supervision flags shared by figure1/figure5/bench."""
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-cell wall-clock budget; overdue cells "
+                        "are killed and retried")
+    p.add_argument("--max-retries", type=int, default=0,
+                   help="re-run a failed or timed-out cell up to N "
+                        "times (with backoff)")
+    p.add_argument("--failure-policy",
+                   choices=["fail_fast", "continue",
+                            "degrade_to_serial"],
+                   default=None,
+                   help="what to do when a cell exhausts its retries "
+                        "(default: fail_fast)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -459,6 +557,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip shrinking failing plans to minimal")
     chaos_p.add_argument("--replay", metavar="BUNDLE.json", default=None,
                          help="replay a failure bundle and exit")
+    chaos_p.add_argument("--journal", metavar="FILE", default=None,
+                         help="checkpoint each finished cell to this "
+                              "crash-safe JSONL journal")
+    chaos_p.add_argument("--resume", action="store_true",
+                         help="merge cells already in the journal "
+                              "instead of re-running them (default "
+                              "journal: chaos-journal.jsonl)")
+    chaos_p.add_argument("--max-cells", type=int, default=None,
+                         help="simulate at most N new cells, then "
+                              "stop with exit code 3 (resumable)")
     chaos_p.add_argument("--json", action="store_true")
     chaos_p.set_defaults(func=cmd_chaos)
 
@@ -507,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-fastpath", action="store_true",
                        help="disable the memory-system access filters "
                             "(results are identical; for verification)")
+        _add_supervision_flags(p)
         p.set_defaults(func=func)
 
     bench_p = sub.add_parser(
@@ -542,6 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--regression-tolerance", type=float, default=0.3,
                          help="allowed fractional speedup drop vs the "
                               "baseline (default 0.3)")
+    _add_supervision_flags(bench_p)
     bench_p.set_defaults(func=cmd_bench)
 
     return parser

@@ -79,6 +79,29 @@ class InvariantViolationError(ReproError):
     """
 
 
+class IncompleteGridError(ReproError):
+    """A grid run ended with unfinished cells.
+
+    Raised by :class:`~repro.perf.runner.ParallelRunner` when one or
+    more cells exhausted their retry budget (worker exception, hung
+    cell, repeated pool breakage), so the result list would otherwise
+    contain silent ``None`` holes.  Carries the supervision record:
+
+    ``report``
+        the :class:`~repro.perf.supervise.RunReport` with one
+        :class:`~repro.perf.supervise.CellFailure` per failed cell;
+    ``results``
+        the partial result list (``None`` at each failed index), so
+        callers running under the ``continue`` policy can salvage the
+        cells that did finish.
+    """
+
+    def __init__(self, message: str, report=None, results=None):
+        super().__init__(message)
+        self.report = report
+        self.results = results
+
+
 class TraceError(ReproError):
     """Malformed workload trace (unknown opcode, unbalanced txn markers)."""
 

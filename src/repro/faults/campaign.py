@@ -13,6 +13,17 @@ On a clean build the acceptance campaign
 (``repro chaos --seeds 25 --variants tokentm,logtm_se,onetm``) must
 come back empty-handed; against the seeded bugs in
 :mod:`repro.faults.mutations` it must not.
+
+Campaigns are *checkpointed*: pass a
+:class:`~repro.perf.supervise.CampaignJournal` and every finished
+cell's outcome is durably journaled under a key derived from the full
+cell content (workload, variant, seed, plan hash, mutant, scale,
+quantum, cadence, skew).  A rerun with ``resume`` merges journaled
+outcomes instead of re-simulating, so a multi-hour campaign killed at
+cell 900/1000 restarts from cell 901 — and the merged
+:class:`CampaignResult` is identical to an uninterrupted run's
+(asserted by ``tests/faults/test_resume.py``), because each cell is a
+pure function of its key content.
 """
 
 from __future__ import annotations
@@ -81,6 +92,11 @@ class CampaignResult:
     plan: Dict[str, object]
     cells: List[ChaosCell] = field(default_factory=list)
     bundle_paths: List[str] = field(default_factory=list)
+    #: True when the campaign stopped early (``max_cells`` budget);
+    #: the journal holds everything finished so far — resume to go on.
+    interrupted: bool = False
+    #: Cells answered from the journal rather than re-simulated.
+    resumed_cells: int = 0
 
     @property
     def ok(self) -> bool:
@@ -97,8 +113,59 @@ class CampaignResult:
             "cells": len(self.cells),
             "failures": len(self.failures),
             "ok": self.ok,
+            "interrupted": self.interrupted,
             "bundles": list(self.bundle_paths),
         }
+
+
+def campaign_cell_key(workload: str, variant: str, seed: int,
+                      plan: FaultPlan, scale: float, quantum: int,
+                      cadence: int, skew_tolerance: Optional[int],
+                      mutant: Optional[str]) -> str:
+    """Journal key of one campaign cell: its full result-determining
+    content, human-readable so a journal can be audited by eye.
+
+    The plan rides as its content hash (name excluded, like the RNG
+    lane), so renaming a plan never invalidates a journal but any
+    behavioural change to it does.
+    """
+    return "/".join([
+        workload, resolve_variant(variant), f"s{seed}",
+        f"plan:{plan.content_hash()[:16]}", f"scale:{scale:g}",
+        f"q:{quantum}", f"cad:{cadence}",
+        f"skew:{'auto' if skew_tolerance is None else skew_tolerance}",
+        f"mut:{mutant or '-'}",
+    ])
+
+
+def _cell_record(cell: ChaosCell,
+                 bundle_path: Optional[str]) -> Dict[str, object]:
+    """The journaled outcome of one finished cell.
+
+    Stats snapshots stay out on purpose: the journal is a *ledger of
+    outcomes* (which cells are done, did they fail, where is the
+    bundle), not a result cache — a resumed cell that needs stats
+    re-runs by simply not being journaled.
+    """
+    return {
+        "workload": cell.workload,
+        "variant": cell.variant,
+        "seed": cell.seed,
+        "ok": cell.ok,
+        "error": dict(cell.error),
+        "bundle_path": bundle_path,
+    }
+
+
+def _cell_from_record(record: Dict[str, object]) -> ChaosCell:
+    """Reconstruct a journaled cell (outcome only, ``stats=None``)."""
+    return ChaosCell(
+        workload=record["workload"],
+        variant=record["variant"],
+        seed=record["seed"],
+        ok=bool(record["ok"]),
+        error=dict(record.get("error") or {}),
+    )
 
 
 def _build_machine(variant: str, sys_cfg: SystemConfig,
@@ -227,18 +294,46 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
                  out_dir: Optional[str] = None,
                  max_bundles: int = 4,
                  progress: Optional[Callable[[ChaosCell], None]] = None,
+                 journal=None,
+                 max_cells: Optional[int] = None,
                  ) -> CampaignResult:
     """Sweep ``seeds`` x ``variants`` under one fault plan.
 
     On each failure the plan is shrunk (unless ``shrink=False``) and
     a bundle carrying the *minimal* plan is written to ``out_dir``
     (at most ``max_bundles``; the rest stay in the cells).
+
+    ``journal`` (a :class:`~repro.perf.supervise.CampaignJournal`)
+    checkpoints every finished cell; cells already journaled are
+    merged back instead of re-simulated, which is how an interrupted
+    campaign resumes.  ``max_cells`` bounds how many *new* cells this
+    invocation simulates — the campaign stops there with
+    ``interrupted=True`` (useful for sharding a long campaign across
+    invocations, and for deterministic interruption tests).
     """
     plan = plan if plan is not None else default_plan()
     result = CampaignResult(workload=workload, scale=scale,
                             plan=plan.to_dict())
+    executed = 0
     for variant in variants:
         for seed in seeds:
+            key = campaign_cell_key(workload, variant, seed, plan,
+                                    scale, quantum, cadence,
+                                    skew_tolerance, mutant)
+            record = journal.get(key) if journal is not None else None
+            if record is not None:
+                cell = _cell_from_record(record)
+                result.cells.append(cell)
+                result.resumed_cells += 1
+                bundle_path = record.get("bundle_path")
+                if bundle_path:
+                    result.bundle_paths.append(bundle_path)
+                if progress is not None:
+                    progress(cell)
+                continue
+            if max_cells is not None and executed >= max_cells:
+                result.interrupted = True
+                return result
             cell = run_chaos_cell(
                 workload=workload, variant=variant, seed=seed, plan=plan,
                 scale=scale, quantum=quantum, cadence=cadence,
@@ -249,17 +344,21 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
                                        seed, scale, quantum, cadence,
                                        skew_tolerance, mutant)
             result.cells.append(cell)
+            bundle_path = None
             if (not cell.ok and out_dir is not None
                     and cell.bundle is not None
                     and len(result.bundle_paths) < max_bundles):
                 os.makedirs(out_dir, exist_ok=True)
-                path = os.path.join(
+                bundle_path = os.path.join(
                     out_dir,
                     f"chaos-{cell.variant}-s{seed}"
                     f"{'-' + mutant if mutant else ''}.json",
                 )
-                cell.bundle.save(path)
-                result.bundle_paths.append(path)
+                cell.bundle.save(bundle_path)
+                result.bundle_paths.append(bundle_path)
+            executed += 1
+            if journal is not None:
+                journal.record(key, _cell_record(cell, bundle_path))
             if progress is not None:
                 progress(cell)
     return result

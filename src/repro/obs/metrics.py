@@ -28,6 +28,19 @@ CYCLE_EDGES: Tuple[int, ...] = (
 #: Default edges for set-size histograms (blocks per transaction).
 SET_SIZE_EDGES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
 
+#: Canonical names of the grid-supervision counters published by
+#: :class:`~repro.perf.runner.ParallelRunner` (docs/robustness.md,
+#: "Surviving the host").  Pre-registered at runner construction so a
+#: clean run's snapshot still shows them at zero — dashboards can
+#: tell "no failures" apart from "not instrumented".
+PERF_RESILIENCE_COUNTERS: Tuple[str, ...] = (
+    "perf.retries",        # cell attempts re-run after a failure
+    "perf.timeouts",       # cells killed for exceeding their budget
+    "perf.worker_deaths",  # pool breakages survived (OOM/SIGKILL)
+    "perf.cells_failed",   # cells that exhausted their retry budget
+    "perf.cache_corrupt",  # cache entries quarantined as unreadable
+)
+
 
 class Counter:
     """Monotonically increasing count."""

@@ -7,8 +7,14 @@ package fans cells out over worker processes and caches finished
 cells on disk keyed by the full cell content (spec, configs, seed,
 scale).  See ``docs/performance.md``.
 
-* :mod:`repro.perf.cache` — content-hashed on-disk result cache;
+* :mod:`repro.perf.cache` — content-hashed on-disk result cache
+  (corrupt entries quarantined, never fatal);
 * :mod:`repro.perf.runner` — :class:`ParallelRunner`, the grid engine;
+* :mod:`repro.perf.supervise` — the supervision layer: per-cell
+  timeouts, retries with backoff, failure policies, pool rebuilding,
+  :class:`RunReport` failure records, the crash-safe
+  :class:`CampaignJournal`, and the SIGINT/SIGTERM flush handler
+  (``docs/robustness.md``, "Surviving the host");
 * :mod:`repro.perf.bench` — the ``repro bench`` harness that writes
   ``BENCH_perf.json``;
 * :mod:`repro.perf.legacy` — the pre-optimization interpreter loop,
@@ -17,11 +23,23 @@ scale).  See ``docs/performance.md``.
 
 from repro.perf.cache import ResultCache, cell_key
 from repro.perf.runner import CellSpec, ParallelRunner, grid_specs
+from repro.perf.supervise import (
+    CampaignJournal,
+    CellFailure,
+    RunReport,
+    SupervisorConfig,
+    flush_on_signals,
+)
 
 __all__ = [
+    "CampaignJournal",
+    "CellFailure",
     "CellSpec",
     "ParallelRunner",
     "ResultCache",
+    "RunReport",
+    "SupervisorConfig",
     "cell_key",
+    "flush_on_signals",
     "grid_specs",
 ]

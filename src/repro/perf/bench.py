@@ -20,7 +20,7 @@ Measures two things and writes both to ``BENCH_perf.json``:
   disabled faults subsystem is zero-cost (CI asserts the overhead
   stays under 2%).
 
-Schema of ``BENCH_perf.json`` (``repro-bench-perf/3``, documented in
+Schema of ``BENCH_perf.json`` (``repro-bench-perf/4``, documented in
 ``docs/performance.md``):
 
 ``schema``        schema identifier string;
@@ -68,6 +68,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import Cell
 from repro.common.config import HTMConfig, RunConfig, SystemConfig
+from repro.common.errors import IncompleteGridError
 from repro.coherence.protocol import MemorySystem
 from repro.htm import make_htm
 from repro.obs.metrics import publish_fastpath
@@ -78,6 +79,7 @@ from repro.perf.legacy import (
     unfiltered_memory_system,
 )
 from repro.perf.runner import CellSpec, ParallelRunner
+from repro.perf.supervise import FAIL_FAST, SupervisorConfig
 from repro.runtime.executor import Executor
 from repro.workloads import tm_workloads
 from repro.workloads.trace import (
@@ -94,7 +96,11 @@ from repro.workloads.trace import (
 #: /2: added the memory-stack microbenchmark (``membench``), the
 #: ``config.fast_path`` flag, and ``perf.fastpath.*`` metrics.
 #: /3: added the faults-path microbenchmark (``faultbench``).
-BENCH_SCHEMA = "repro-bench-perf/3"
+#: /4: ``grid`` grew a ``report`` (the runner's supervision
+#: RunReport: retries, timeouts, worker deaths, per-cell failures)
+#: and cell rows may carry ``failed: true`` with null stats when the
+#: grid ran under ``--failure-policy continue``.
+BENCH_SCHEMA = "repro-bench-perf/4"
 
 #: Default output path, at the repo root like the other BENCH files.
 DEFAULT_OUT = "BENCH_perf.json"
@@ -159,6 +165,15 @@ def _grid_cells_payload(specs: Sequence[CellSpec], cells: Sequence[Cell],
                         walls: Sequence[Optional[float]]) -> List[Dict]:
     rows = []
     for spec, cell, wall in zip(specs, cells, walls):
+        if cell is None:  # failed under --failure-policy continue
+            rows.append({
+                "workload": spec.workload.name,
+                "variant": spec.variant,
+                "seed": spec.seed,
+                "scale": spec.scale,
+                "failed": True,
+            })
+            continue
         stats = cell.stats
         ops = int(stats.machine.get("_trace_ops", 0))
         rows.append({
@@ -178,19 +193,34 @@ def _grid_cells_payload(specs: Sequence[CellSpec], cells: Sequence[Cell],
 
 
 def run_grid(specs: Sequence[CellSpec], workers: int = 0,
-             cache: Optional[ResultCache] = None):
+             cache: Optional[ResultCache] = None,
+             supervisor: Optional[SupervisorConfig] = None):
     """Run a grid through the runner.
 
-    Returns ``(grid_payload, metrics_snapshot)``.
+    Returns ``(grid_payload, metrics_snapshot)``.  Under the
+    ``continue`` failure policy an incomplete grid does not raise:
+    failed cells are marked in the payload and the supervision
+    :class:`~repro.perf.supervise.RunReport` lands in
+    ``grid["report"]`` — ``repro bench`` surfaces it and exits
+    nonzero.  ``fail_fast`` (the default) still propagates
+    :class:`~repro.common.errors.IncompleteGridError`, with the pool
+    reaped either way.
     """
-    with ParallelRunner(workers=workers, cache=cache) as runner:
+    with ParallelRunner(workers=workers, cache=cache,
+                        supervisor=supervisor) as runner:
         start = time.perf_counter()
-        cells = runner.run_cells(list(specs))
+        try:
+            cells = runner.run_cells(list(specs))
+        except IncompleteGridError as exc:
+            if runner.supervisor.failure_policy == FAIL_FAST:
+                raise
+            cells = exc.results
         wall = time.perf_counter() - start
         payload = {
             "wall_seconds": wall,
             "cells": _grid_cells_payload(specs, cells,
                                          runner.last_wall_seconds),
+            "report": runner.last_report.to_dict(),
         }
         return payload, runner.metrics.snapshot()
 
@@ -202,9 +232,10 @@ def compare_serial_parallel(specs: Sequence[CellSpec],
     Also cross-checks that both runs produced identical statistics —
     the determinism contract the parallel engine must keep.
     """
-    start = time.perf_counter()
-    serial_cells = ParallelRunner(workers=0).run_cells(list(specs))
-    serial_wall = time.perf_counter() - start
+    with ParallelRunner(workers=0) as serial_runner:
+        start = time.perf_counter()
+        serial_cells = serial_runner.run_cells(list(specs))
+        serial_wall = time.perf_counter() - start
     with ParallelRunner(workers=workers) as runner:
         start = time.perf_counter()
         parallel_cells = runner.run_cells(list(specs))
@@ -513,13 +544,15 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
               micro_rounds: int = 3,
               membench: bool = True,
               faultbench: bool = True,
-              fast_path: bool = True) -> Dict:
+              fast_path: bool = True,
+              supervisor: Optional[SupervisorConfig] = None) -> Dict:
     """Run the harness and write ``BENCH_perf.json``; returns payload."""
     specs = bench_specs(quick=quick, seed=seed,
                         workload_names=workload_names, variants=variants,
                         scale_factor=scale_factor, fast_path=fast_path)
     cache = ResultCache(cache_dir) if cache_dir else None
-    grid, metrics = run_grid(specs, workers=workers, cache=cache)
+    grid, metrics = run_grid(specs, workers=workers, cache=cache,
+                             supervisor=supervisor)
     mem_payload = None
     if membench:
         # Deliberately NOT scaled down under --quick: the whole run
@@ -531,9 +564,9 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
         metrics.update(
             publish_fastpath(mem_payload["fastpath"]).snapshot()
         )
-    total_ops = sum(c["trace_ops"] for c in grid["cells"])
+    total_ops = sum(c.get("trace_ops", 0) for c in grid["cells"])
     timed_walls = [c["wall_seconds"] for c in grid["cells"]
-                   if c["wall_seconds"]]
+                   if c.get("wall_seconds")]
     payload = {
         "schema": BENCH_SCHEMA,
         "unix_time": int(time.time()),
@@ -582,6 +615,14 @@ def format_bench_summary(payload: Dict) -> str:
         f"in {totals['wall_seconds']:.2f}s wall "
         f"({(totals['sim_ops_per_sec'] or 0):,.0f} ops/sec)"
     )
+    report = (payload.get("grid") or {}).get("report") or {}
+    if report.get("failed"):
+        lines.append(
+            f"grid INCOMPLETE: {len(report['failed'])} cells failed "
+            f"({report.get('retries', 0)} retries, "
+            f"{report.get('timeouts', 0)} timeouts, "
+            f"{report.get('worker_deaths', 0)} worker deaths)"
+        )
     micro = payload.get("microbench")
     if micro:
         lines.append(

@@ -18,6 +18,14 @@ holding the human-readable key material for debugging.  Writes are
 atomic (temp file + ``os.replace``), so a killed run never leaves a
 truncated entry.  Bump :data:`CACHE_SCHEMA` when the simulator's
 behaviour changes in a way the key content cannot see.
+
+Reads are *crash-safe* too: an entry that cannot be unpickled — a
+truncation that slipped past the atomic write (full disk, torn copy),
+or a stale class layout raising ``AttributeError``/``ImportError``
+from an entry written under an old ``CACHE_SCHEMA`` discipline — is
+treated as a miss, **quarantined** to ``<key>.pkl.corrupt`` so it can
+never fail again on the next run, and counted through the
+``perf.cache_corrupt`` metric.
 """
 
 from __future__ import annotations
@@ -77,22 +85,51 @@ def cell_key(spec) -> str:
 
 
 class ResultCache:
-    """Directory-backed store of pickled grid cells, keyed by hash."""
+    """Directory-backed store of pickled grid cells, keyed by hash.
 
-    def __init__(self, root: Optional[os.PathLike] = None):
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) makes
+    quarantines observable as ``perf.cache_corrupt``; a
+    :class:`~repro.perf.runner.ParallelRunner` attaches its own
+    registry automatically.  :attr:`quarantined` counts them locally
+    either way.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None, metrics=None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.metrics = metrics
+        #: Corrupt entries quarantined by this instance.
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str):
-        """The cached cell for ``key``, or None."""
+        """The cached cell for ``key``, or None.
+
+        Any entry that fails to load — truncated pickle, or a stale
+        class layout raising ``AttributeError``/``ImportError`` under
+        ``CACHE_SCHEMA`` discipline — reads as a miss and is moved
+        aside to ``<key>.pkl.corrupt`` so the re-simulated result can
+        take its slot (and the bad bytes stay available for autopsy).
+        """
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
                 return pickle.load(fh)
-        except (FileNotFoundError, EOFError, pickle.UnpicklingError):
+        except FileNotFoundError:
             return None
+        except Exception:
+            self._quarantine(path)
+            return None
+
+    def _quarantine(self, path: Path) -> None:
+        self.quarantined += 1
+        if self.metrics is not None:
+            self.metrics.counter("perf.cache_corrupt").inc()
+        try:
+            os.replace(path, Path(str(path) + ".corrupt"))
+        except OSError:
+            pass  # raced with a concurrent quarantine or a cleanup
 
     def put(self, key: str, cell, sidecar: Optional[Dict] = None) -> None:
         """Store ``cell`` under ``key`` atomically.

@@ -1,0 +1,374 @@
+"""Supervision layer for the experiment engine.
+
+The grids that matter are big: thousands of cells, hours of wall
+clock.  At that scale host-level failures are routine — a worker
+process OOM-killed mid-cell, a pathological configuration that hangs
+a simulation, a cache entry truncated by a full disk, a SIGTERM from
+a batch scheduler at cell 900/1000.  This module gives
+:class:`~repro.perf.runner.ParallelRunner` and ``repro chaos`` the
+machinery to survive all of those without giving up determinism:
+
+* :class:`SupervisorConfig` — per-cell wall-clock timeouts, bounded
+  retries with exponential backoff and *deterministic* jitter, a
+  failure policy (``fail_fast`` / ``continue`` /
+  ``degrade_to_serial``), and a pool-rebuild budget;
+* :class:`CellFailure` / :class:`RunReport` — structured records of
+  what failed, how many times it was attempted, and what happened to
+  the worker, surfaced by the CLI with a nonzero exit;
+* :class:`CampaignJournal` — an append-only, crash-safe JSONL journal
+  of completed campaign cells, the substrate of
+  ``repro chaos --resume``;
+* :func:`flush_on_signals` — a SIGINT/SIGTERM handler that flushes
+  checkpoint state before the process dies.
+
+Determinism: none of this machinery touches simulation inputs.  The
+seed rides in the :class:`~repro.perf.runner.CellSpec`, so a retried,
+resumed, or pool-rebuilt cell produces a result byte-identical to a
+clean serial run (asserted by ``tests/perf/test_supervise.py``).
+Backoff jitter is derived from a hash of the cell key and attempt
+number — never from a wall clock or a global RNG — so even the
+supervisor's sleep schedule replays identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.errors import ConfigError
+
+#: The three ways a grid may respond to a cell that exhausts its
+#: retry budget (or to a worker pool that keeps dying):
+#:
+#: ``fail_fast``
+#:     abort the grid on the first exhausted cell (default — the
+#:     closest analogue of the unsupervised engine);
+#: ``continue``
+#:     finish every other cell, then raise
+#:     :class:`~repro.common.errors.IncompleteGridError` listing
+#:     exactly the failed cells;
+#: ``degrade_to_serial``
+#:     like ``continue``, but when the worker pool exceeds its
+#:     rebuild budget the remaining cells run inline in the parent
+#:     process instead of being abandoned.
+FAIL_FAST = "fail_fast"
+CONTINUE = "continue"
+DEGRADE_TO_SERIAL = "degrade_to_serial"
+FAILURE_POLICIES = (FAIL_FAST, CONTINUE, DEGRADE_TO_SERIAL)
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs of the grid supervisor.
+
+    The defaults are *zero-cost*: no timeout, no retries,
+    ``fail_fast`` — a clean run takes exactly the unsupervised path
+    and produces byte-identical output.  Timeouts require a worker
+    pool (``workers > 1``); inline execution cannot kill a hung cell
+    and ignores ``timeout``.
+    """
+
+    #: Per-cell wall-clock budget in seconds (None = unlimited).  An
+    #: overdue cell's worker is killed (SIGKILL) and the cell retried.
+    timeout: Optional[float] = None
+    #: Extra attempts per cell after the first (0 = no retries).
+    retries: int = 0
+    #: What to do when a cell exhausts its attempts.
+    failure_policy: str = FAIL_FAST
+    #: First-retry backoff in seconds; doubles per attempt.
+    backoff_base: float = 0.05
+    #: Ceiling on the exponential backoff.
+    backoff_max: float = 2.0
+    #: Fractional jitter added to each backoff (deterministic, hashed
+    #: from the cell key and attempt number).
+    jitter: float = 0.25
+    #: How many times a broken worker pool is rebuilt per run before
+    #: the failure policy takes over.
+    pool_rebuilds: int = 3
+
+    def __post_init__(self):
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise ConfigError(
+                f"unknown failure policy {self.failure_policy!r}; "
+                f"expected one of {FAILURE_POLICIES}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError("timeout must be positive (or None)")
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if self.pool_rebuilds < 0:
+            raise ConfigError("pool_rebuilds must be >= 0")
+
+    @property
+    def is_default(self) -> bool:
+        """True when every knob sits at its zero-cost default."""
+        return self == SupervisorConfig()
+
+    def backoff_delay(self, token: str, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of cell ``token``.
+
+        Exponential with a deterministic jitter fraction hashed from
+        ``(token, attempt)``: two runs of the same grid sleep the
+        same schedule, and concurrent retries of different cells
+        de-synchronize.
+        """
+        base = min(self.backoff_max,
+                   self.backoff_base * (2 ** max(0, attempt - 1)))
+        digest = hashlib.sha256(
+            f"{token}:{attempt}".encode("utf-8")).hexdigest()
+        frac = int(digest[:8], 16) / 0xFFFFFFFF
+        return base * (1.0 + self.jitter * frac)
+
+
+#: Worker fates recorded in :class:`CellFailure`:
+#: ``raised`` — the cell raised inside a (surviving) worker;
+#: ``timeout`` — the cell exceeded its wall-clock budget and its
+#: worker was killed; ``pool_broken`` — the pool died (worker OOM /
+#: SIGKILL) more times than the rebuild budget allows, taking the
+#: cell's slot with it.
+FATE_RAISED = "raised"
+FATE_TIMEOUT = "timeout"
+FATE_POOL_BROKEN = "pool_broken"
+
+
+@dataclass
+class CellFailure:
+    """One grid cell that exhausted its supervision budget."""
+
+    index: int
+    workload: str
+    variant: str
+    seed: int
+    attempts: int
+    fate: str
+    error: str
+    message: str
+    key: Optional[str] = None
+
+    def describe(self) -> str:
+        return (f"{self.workload}/{self.variant} seed {self.seed}: "
+                f"{self.error}: {self.message} "
+                f"({self.fate} after {self.attempts} attempt"
+                f"{'s' if self.attempts != 1 else ''})")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "workload": self.workload,
+            "variant": self.variant,
+            "seed": self.seed,
+            "attempts": self.attempts,
+            "fate": self.fate,
+            "error": self.error,
+            "message": self.message,
+            "key": self.key,
+        }
+
+
+@dataclass
+class RunReport:
+    """Supervision record of one :meth:`ParallelRunner.run_cells` call."""
+
+    cells: int = 0
+    completed: int = 0
+    failed: List[CellFailure] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cells": self.cells,
+            "completed": self.completed,
+            "failed": [f.to_dict() for f in self.failed],
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded": self.degraded,
+        }
+
+    def format(self) -> str:
+        """Human-readable digest for the CLI (stderr on failure)."""
+        head = (f"grid: {self.completed}/{self.cells} cells completed, "
+                f"{len(self.failed)} failed "
+                f"({self.retries} retries, {self.timeouts} timeouts, "
+                f"{self.worker_deaths} worker deaths, "
+                f"{self.pool_rebuilds} pool rebuilds"
+                + (", degraded to serial" if self.degraded else "") + ")")
+        lines = [head]
+        lines.extend(f"  FAILED {f.describe()}" for f in self.failed)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Campaign journal
+# ----------------------------------------------------------------------
+
+class CampaignJournal:
+    """Append-only JSONL journal of completed campaign cells.
+
+    One line per finished cell: ``{"key": <cell key>, ...outcome}``.
+    Every record is flushed and fsynced as it is written, so a run
+    killed at cell N leaves N intact lines; a torn final line (the
+    kill landed mid-write) is detected on load and ignored.  That
+    makes ``repro chaos --resume`` safe after *any* interruption —
+    SIGKILL included.
+
+    ``resume=False`` (a fresh campaign) refuses to open a journal
+    that already has entries: silently re-using a stale journal would
+    skip cells the user asked to run.  Pass ``resume=True`` to load
+    and extend it.
+    """
+
+    def __init__(self, path: os.PathLike, resume: bool = False):
+        self.path = Path(path)
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self.torn_lines = 0
+        if self.path.exists():
+            self._load()
+            if self._entries and not resume:
+                raise ConfigError(
+                    f"journal {self.path} already has "
+                    f"{len(self._entries)} completed cells; pass "
+                    f"--resume to continue it or remove the file to "
+                    f"start over"
+                )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        # Heal a torn tail: appending straight after a half-written
+        # line would merge the next record into the fragment and lose
+        # both.  A lone newline terminates the fragment; the loader
+        # already skips blank and unparsable lines.
+        if self._fh.tell() > 0:
+            with open(self.path, "rb") as raw:
+                raw.seek(-1, os.SEEK_END)
+                if raw.read(1) != b"\n":
+                    self._fh.write("\n")
+                    self.flush()
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record.pop("key")
+                except (json.JSONDecodeError, KeyError):
+                    # A torn tail from a mid-write kill: the cell it
+                    # would have recorded simply re-runs.
+                    self.torn_lines += 1
+                    continue
+                self._entries[key] = record
+
+    def record(self, key: str, payload: Dict[str, object]) -> None:
+        """Journal one completed cell (durable before returning)."""
+        self._entries[key] = dict(payload)
+        self._fh.write(json.dumps({"key": key, **payload},
+                                  sort_keys=True) + "\n")
+        self.flush()
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        return self._entries.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def flush(self) -> None:
+        if self._fh.closed:
+            return
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Signal handling
+# ----------------------------------------------------------------------
+
+@contextmanager
+def flush_on_signals(*flushables) -> Iterator[None]:
+    """Flush checkpoint state on SIGINT/SIGTERM, then exit.
+
+    Installs handlers for the duration of the block that call
+    ``flush()`` on every argument (``None``s are skipped), then raise
+    ``KeyboardInterrupt`` (SIGINT) or ``SystemExit(128 + signum)``
+    (SIGTERM) so the interruption still unwinds normally.  Previous
+    handlers are restored on exit.  Journal and cache writes are
+    individually durable already; this closes the last-line window
+    and guarantees an interrupted campaign resumes from its final
+    completed cell.
+    """
+
+    def handler(signum, _frame):
+        for f in flushables:
+            if f is None:
+                continue
+            try:
+                f.flush()
+            except (OSError, ValueError):
+                pass
+        if signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        raise SystemExit(128 + signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # non-main thread: no handlers
+            pass
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+
+def atomic_write_text(path: os.PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + replace).
+
+    Shared by checkpoint writers so a kill mid-write can never leave
+    a half-written artifact where a complete one is expected.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

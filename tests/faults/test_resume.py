@@ -1,0 +1,178 @@
+"""Campaign checkpointing: journals, --resume, interruption.
+
+The contract under test (docs/robustness.md, "Surviving the host"):
+an interrupted campaign — SIGTERM, kill -9, or an explicit
+``max_cells`` budget — resumes from its last finished cell, and the
+merged result is identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.cli import main
+from repro.common.errors import ConfigError
+from repro.faults.campaign import (
+    campaign_cell_key,
+    run_campaign,
+)
+from repro.faults.plan import default_plan
+from repro.perf.supervise import CampaignJournal, flush_on_signals
+
+#: Small enough for seconds-scale cells, same shape the chaos CLI
+#: smoke tests use.
+ARGS = dict(workload="Cholesky", variants=("tokentm",), seeds=(0, 1),
+            scale=0.002, shrink=False)
+
+
+def _summaries(result):
+    return [(c.workload, c.variant, c.seed, c.ok) for c in result.cells]
+
+
+class TestCellKey:
+    def test_key_is_content_addressed(self):
+        plan = default_plan()
+        key = campaign_cell_key("Cholesky", "tokentm", 3, plan, 0.002,
+                                200, 8, None, None)
+        assert key.startswith("Cholesky/TokenTM/s3/plan:")
+        assert "skew:auto" in key and "mut:-" in key
+        # Same content, aliased variant name: same key.
+        assert key == campaign_cell_key("Cholesky", "TokenTM", 3, plan,
+                                        0.002, 200, 8, None, None)
+        # Different plan content: different key.
+        other = default_plan(intensity=2.0)
+        assert key != campaign_cell_key("Cholesky", "tokentm", 3, other,
+                                        0.002, 200, 8, None, None)
+
+
+class TestCampaignCheckpointing:
+    def test_max_cells_interrupts_then_resume_completes(self, tmp_path):
+        clean = run_campaign(**ARGS)
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        partial = run_campaign(journal=journal, max_cells=1, **ARGS)
+        journal.close()
+        assert partial.interrupted
+        assert len(partial.cells) == 1
+        assert len(CampaignJournal(tmp_path / "j.jsonl",
+                                   resume=True)) == 1
+
+        journal = CampaignJournal(tmp_path / "j.jsonl", resume=True)
+        resumed = run_campaign(journal=journal, **ARGS)
+        journal.close()
+        assert not resumed.interrupted
+        assert resumed.resumed_cells == 1
+        assert _summaries(resumed) == _summaries(clean)
+        assert resumed.summary() == clean.summary()
+
+    def test_resume_after_sigterm_mid_campaign(self, tmp_path):
+        """Simulated batch-scheduler kill: SIGTERM lands after the
+        first cell; the journal survives and the rerun picks up from
+        cell 2."""
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+
+        def bomb(_cell):
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        with pytest.raises(SystemExit) as exc:
+            with flush_on_signals(journal):
+                run_campaign(journal=journal, progress=bomb, **ARGS)
+        journal.close()
+        assert exc.value.code == 128 + signal.SIGTERM
+
+        journal = CampaignJournal(path, resume=True)
+        assert len(journal) == 1
+        resumed = run_campaign(journal=journal, **ARGS)
+        journal.close()
+        assert resumed.resumed_cells == 1
+        assert _summaries(resumed) == _summaries(run_campaign(**ARGS))
+
+    def test_fully_journaled_campaign_runs_nothing(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        run_campaign(journal=journal, **ARGS)
+        journal.close()
+        journal = CampaignJournal(tmp_path / "j.jsonl", resume=True)
+        replayed = run_campaign(journal=journal, max_cells=0, **ARGS)
+        journal.close()
+        # max_cells=0 forbids any simulation: completing anyway proves
+        # every cell was answered from the journal.
+        assert not replayed.interrupted
+        assert replayed.resumed_cells == len(replayed.cells) == 2
+
+    def test_changed_plan_invalidates_journal_entries(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        run_campaign(journal=journal, **ARGS)
+        journal.close()
+        journal = CampaignJournal(tmp_path / "j.jsonl", resume=True)
+        rerun = run_campaign(journal=journal,
+                             plan=default_plan(intensity=2.0), **ARGS)
+        journal.close()
+        assert rerun.resumed_cells == 0  # different plan, new keys
+
+
+class TestChaosResumeCLI:
+    def test_interrupt_exits_3_then_resume_exits_0(self, tmp_path,
+                                                   capsys):
+        journal = str(tmp_path / "j.jsonl")
+        base = ["chaos", "--workload", "Cholesky", "--variants",
+                "tokentm", "--seeds", "2", "--scale", "0.002",
+                "--no-shrink", "--out-dir", str(tmp_path / "bundles"),
+                "--journal", journal]
+        rc = main(base + ["--max-cells", "1"])
+        captured = capsys.readouterr()
+        assert rc == 3
+        assert "campaign interrupted" in captured.err
+        assert "--resume" in captured.err
+
+        # Re-running without --resume must refuse the stale journal.
+        rc = main(base)
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "--resume" in captured.err
+
+        rc = main(base + ["--resume", "--json"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(captured.out)
+        assert payload["cells"] == 2
+        assert payload["interrupted"] is False
+
+    def test_resumed_json_summary_matches_clean_run(self, tmp_path,
+                                                    capsys):
+        base = ["chaos", "--workload", "Cholesky", "--variants",
+                "tokentm", "--seeds", "2", "--scale", "0.002",
+                "--no-shrink", "--out-dir", str(tmp_path / "bundles"),
+                "--json"]
+        assert main(base) == 0
+        clean = json.loads(capsys.readouterr().out)
+
+        journal = str(tmp_path / "j.jsonl")
+        assert main(base + ["--journal", journal,
+                            "--max-cells", "1"]) == 3
+        capsys.readouterr()
+        assert main(base + ["--journal", journal, "--resume"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed == clean
+
+    def test_resume_defaults_journal_path(self, tmp_path, monkeypatch,
+                                          capsys):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["chaos", "--workload", "Cholesky", "--variants",
+                   "tokentm", "--seeds", "1", "--scale", "0.002",
+                   "--no-shrink", "--resume"])
+        capsys.readouterr()
+        assert rc == 0
+        assert (tmp_path / "chaos-journal.jsonl").exists()
+
+
+def test_run_campaign_without_journal_unchanged():
+    """The checkpointing knobs default off: no journal, no file I/O,
+    identical result object shape."""
+    result = run_campaign(**ARGS)
+    assert not result.interrupted
+    assert result.resumed_cells == 0
+    assert "interrupted" in result.summary()

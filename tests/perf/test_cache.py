@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import pytest
+
 from repro.common.config import HTMConfig, SystemConfig
 from repro.perf.cache import CACHE_SCHEMA, ResultCache, cell_key
 from repro.perf.runner import CellSpec
@@ -62,6 +64,81 @@ def test_cache_truncated_entry_reads_as_miss(tmp_path):
     path = tmp_path / key[:2] / f"{key}.pkl"
     path.write_bytes(b"")
     assert cache.get(key) is None
+
+
+def test_cache_truncated_pickle_quarantined(tmp_path):
+    """A mid-stream truncation (disk-full torn copy) is quarantined:
+    the bad bytes move to ``<key>.pkl.corrupt``, the slot frees up,
+    and the corruption is counted."""
+    from repro.obs.metrics import MetricsRegistry
+
+    cache = ResultCache(tmp_path, metrics=MetricsRegistry())
+    key = cell_key(_spec())
+    cache.put(key, {"makespan": 123}, sidecar=_spec().payload())
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    whole = path.read_bytes()
+    path.write_bytes(whole[: len(whole) // 2])
+
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    assert cache.metrics.counter("perf.cache_corrupt").value == 1
+    corrupt = path.parent / f"{key}.pkl.corrupt"
+    assert corrupt.exists(), "bad bytes must survive for autopsy"
+    assert not path.exists()
+    assert key not in cache and len(cache) == 0
+
+    # The freed slot accepts the re-simulated result.
+    cache.put(key, {"makespan": 123}, sidecar=_spec().payload())
+    assert cache.get(key) == {"makespan": 123}
+
+
+class _Relic:
+    """Stand-in for a class whose layout predates a refactor."""
+
+
+def test_cache_stale_class_layout_reads_as_miss(tmp_path):
+    """An entry pickled against a class that no longer exists raises
+    ``AttributeError`` on load — treated as a miss and quarantined,
+    never fatal."""
+    import pickle
+
+    cache = ResultCache(tmp_path)
+    key = cell_key(_spec())
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.parent.mkdir(parents=True)
+    # Pickle a real class by reference, then rename the reference to
+    # one this module never defined: exactly what an entry written by
+    # an older build looks like after the class moved.
+    blob = pickle.dumps(_Relic()).replace(b"_Relic", b"_Ghost")
+    path.write_bytes(blob)
+    with pytest.raises(AttributeError):
+        pickle.loads(blob)  # the failure mode under test
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    assert (path.parent / f"{key}.pkl.corrupt").exists()
+
+
+def test_runner_resimulates_quarantined_cell(tmp_path, tiny_workload):
+    """End to end: a corrupted entry under a runner re-simulates,
+    yields the same result, and publishes perf.cache_corrupt."""
+    from repro.perf.runner import ParallelRunner, grid_specs
+
+    specs = grid_specs([tiny_workload], ("TokenTM",), seeds=(1,),
+                       scale=0.5)
+    cold = ParallelRunner(workers=0,
+                          cache=ResultCache(tmp_path)).run_cells(specs)
+    key = cell_key(specs[0])
+    (tmp_path / key[:2] / f"{key}.pkl").write_bytes(b"corrupt")
+
+    runner = ParallelRunner(workers=0, cache=ResultCache(tmp_path))
+    warm = runner.run_cells(specs)
+    assert warm[0].stats.snapshot() == cold[0].stats.snapshot()
+    assert runner.metrics.counter("perf.cache_corrupt").value == 1
+    assert runner.metrics.counter("perf.simulated").value == 1
+    # And the repaired entry serves the next run as a plain hit.
+    again = ParallelRunner(workers=0, cache=ResultCache(tmp_path))
+    again.run_cells(specs)
+    assert again.metrics.counter("perf.cache_hits").value == 1
 
 
 def test_cache_clear(tmp_path):
