@@ -4,11 +4,20 @@ Commands map one-to-one onto the paper's experiments:
 
 * ``run``      — one workload on one HTM variant, stats as text/JSON
   (``--trace``/``--trace-out``/``--chrome-out`` record the run;
-  ``--faults PLAN.json`` injects a fault plan, ``--monitor`` runs the
-  invariant monitor and exits nonzero on any violation);
+  ``--trace-file EVENTS`` replays a recorded event trace instead of
+  a named workload; ``--faults PLAN.json`` injects a fault plan,
+  ``--monitor`` runs the invariant monitor and exits nonzero on any
+  violation);
+* ``convert``  — lower a SynchroTrace-style event file (or shard
+  directory) to the internal opcode format (``docs/traces.md``);
+* ``record``   — record a synthetic workload as an event-trace file
+  whose replay is oracle-identical to the generator run;
+* ``workloads`` — list workloads and fixture traces with per-thread
+  op counts and footprints;
 * ``chaos``    — fault-injection campaign over seeds x variants with
   shrink-to-minimal plans and replayable failure bundles
-  (``docs/robustness.md``);
+  (``docs/robustness.md``; ``--trace-file`` runs the campaign over a
+  replayed event trace);
 * ``trace``    — traced run with the conflict/abort attribution
   report, or ``--validate`` for an existing JSONL trace;
 * ``table1``   — the long-critical-section analysis;
@@ -122,9 +131,30 @@ def _finish_trace(bus, jsonl, chrome, args) -> None:
               file=sys.stderr)
 
 
+def _trace_workload_from_args(args):
+    """Build a :class:`TraceWorkload` from ``--trace-file`` flags."""
+    from repro.traces import ConvertOptions, TraceWorkload
+
+    options = ConvertOptions(
+        block_shift=args.block_shift,
+        remap=args.remap,
+        transactify=not args.no_transactify,
+    )
+    return TraceWorkload.from_file(args.trace_file, options=options)
+
+
 def cmd_run(args) -> int:
-    workload = _workload(args.workload)
-    scale = args.scale or DEFAULT_SCALES[args.workload]
+    if bool(args.workload) == bool(args.trace_file):
+        raise SystemExit(
+            "run: give a workload name or --trace-file EVENTS (not both)")
+    if args.trace_file:
+        workload = _trace_workload_from_args(args)
+        name = workload.spec.name
+        scale = args.scale or 1.0
+    else:
+        workload = _workload(args.workload)
+        name = args.workload
+        scale = args.scale or DEFAULT_SCALES[args.workload]
     bus, jsonl, chrome = _make_bus(args)
     report = None
     if bus is not None and args.trace:
@@ -152,7 +182,7 @@ def cmd_run(args) -> int:
         rows = [(k, v) for k, v in snapshot.items()
                 if k not in ("machine", "faults", "monitor")]
         print(format_table(["metric", "value"], rows,
-                           title=f"{args.workload} on {args.variant}"))
+                           title=f"{name} on {args.variant}"))
         machine = snapshot["machine"]
         print(format_table(
             ["machine counter", "value"],
@@ -217,6 +247,103 @@ def cmd_trace(args) -> int:
              bus=bus)
     _finish_trace(bus, jsonl, chrome, args)
     print(report.format_summary() if args.summary else report.format())
+    return 0
+
+
+def cmd_convert(args) -> int:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.traces import ConvertOptions, convert_file
+    from repro.workloads.persist import save_trace
+
+    options = ConvertOptions(
+        block_shift=args.block_shift,
+        remap=args.remap,
+        remap_space=args.remap_space,
+        transactify=args.transactify,
+        iop_cost=args.iop_cost,
+        flop_cost=args.flop_cost,
+    )
+    metrics = MetricsRegistry()
+    trace = convert_file(args.events, name=args.name, options=options,
+                         metrics=metrics)
+    out = args.out or f"{trace.name}.trace"
+    save_trace(trace, out)
+    snap = metrics.snapshot()
+
+    def metric(name):
+        return snap.get(name, {}).get("value", 0)
+
+    print(f"converted {args.events} -> {out}")
+    print(f"  events: {metric('traces.events')} "
+          f"(dropped {metric('traces.dropped')}), "
+          f"ops: {metric('traces.ops')}, "
+          f"threads: {trace.num_threads}, "
+          f"txns: {trace.transaction_count()}, "
+          f"waits: {len(trace.waits)}")
+    print(f"  parse throughput: "
+          f"{metric('traces.events_per_second'):,.0f} events/sec")
+    return 0
+
+
+def cmd_record(args) -> int:
+    from repro.traces import record_trace, replay_options
+
+    workload = _workload(args.workload)
+    scale = args.scale or DEFAULT_SCALES[args.workload]
+    trace = workload.generate(seed=args.seed, scale=scale,
+                              threads=args.threads)
+    options = record_trace(trace, args.out)
+    replay = f"repro run --trace-file {args.out} --remap none TokenTM"
+    if not options.transactify:
+        replay += " --no-transactify"
+    print(f"recorded {trace.name} (seed {args.seed}, scale {scale:g}) "
+          f"-> {args.out}")
+    print(f"  {trace.total_ops()} ops, {trace.num_threads} threads, "
+          f"{trace.transaction_count()} txns")
+    print(f"  replay: {replay}")
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    from repro.traces import fixture_workloads
+    from repro.workloads.trace import (
+        OP_NT_READ,
+        OP_NT_WRITE,
+        OP_READ,
+        OP_WRITE,
+    )
+
+    mem_ops = (OP_READ, OP_WRITE, OP_NT_READ, OP_NT_WRITE)
+
+    def row(name, kind, scale, trace):
+        counts = [len(t.ops) for t in trace.threads]
+        blocks = {arg for t in trace.threads for op, arg in t.ops
+                  if op in mem_ops}
+        per_thread = (f"{min(counts)}..{max(counts)}"
+                      if len(set(counts)) > 1 else str(counts[0]))
+        return (name, kind, scale, trace.num_threads,
+                trace.total_ops(), per_thread,
+                trace.transaction_count(), len(blocks))
+
+    rows = []
+    for name, wl in tm_workloads().items():
+        scale = args.scale or DEFAULT_SCALES[name]
+        trace = wl.generate(seed=args.seed, scale=scale)
+        rows.append(row(name, "synthetic", f"{scale:g}", trace))
+    for name, trace in lock_applications(seed=args.seed).items():
+        rows.append(row(name, "lock", "-", trace))
+    for name, wl in fixture_workloads().items():
+        rows.append(row(name, "trace", "-",
+                        wl.generate(seed=args.seed)))
+    if args.trace_file:
+        wl = _trace_workload_from_args(args)
+        rows.append(row(wl.spec.name, "trace", "-",
+                        wl.generate(seed=args.seed)))
+    print(format_table(
+        ["workload", "kind", "scale", "threads", "ops", "ops/thread",
+         "txns", "footprint blocks"],
+        rows,
+    ))
     return 0
 
 
@@ -353,6 +480,7 @@ def cmd_bench(args) -> int:
             micro_rounds=args.micro_rounds,
             membench=not args.no_membench,
             fast_path=not args.no_fastpath,
+            traces=not args.no_traces,
             supervisor=_supervisor_from_args(args),
         )
     except IncompleteGridError as exc:
@@ -431,8 +559,10 @@ def cmd_chaos(args) -> int:
             print(f"chaos: {exc}", file=sys.stderr)
             return 2
 
+    subject = (f"trace {args.trace_file}" if args.trace_file
+               else args.workload)
     if not args.json:
-        print(f"chaos campaign: {args.workload} x {variants} x "
+        print(f"chaos campaign: {subject} x {variants} x "
               f"{len(seeds)} seeds, plan {plan.content_hash()} "
               f"({len(plan)} specs)"
               + (f", mutant {args.mutant}" if args.mutant else ""))
@@ -445,6 +575,7 @@ def cmd_chaos(args) -> int:
                 shrink=not args.no_shrink, out_dir=args.out_dir,
                 progress=None if args.json else progress,
                 journal=journal, max_cells=args.max_cells,
+                trace_file=args.trace_file,
             )
     finally:
         if journal is not None:
@@ -476,6 +607,24 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def _add_trace_file_flags(p: argparse.ArgumentParser) -> None:
+    """``--trace-file`` + converter knobs shared by run/workloads."""
+    p.add_argument("--trace-file", metavar="EVENTS", default=None,
+                   help="replay a recorded event-trace file (or shard "
+                        "directory) instead of a named workload "
+                        "(see docs/traces.md)")
+    p.add_argument("--remap", choices=["dense", "mod", "none"],
+                   default="dense",
+                   help="address-remap policy for --trace-file "
+                        "(default: dense)")
+    p.add_argument("--block-shift", type=int, default=6,
+                   help="log2 block size for address folding "
+                        "(default: 6 = 64-byte blocks)")
+    p.add_argument("--no-transactify", action="store_true",
+                   help="keep mutex sections as locks instead of "
+                        "turning them into transactions")
+
+
 def _add_supervision_flags(p: argparse.ArgumentParser) -> None:
     """Grid-supervision flags shared by figure1/figure5/bench."""
     p.add_argument("--cell-timeout", type=float, default=None,
@@ -504,8 +653,11 @@ def build_parser() -> argparse.ArgumentParser:
         .set_defaults(func=cmd_variants)
 
     run_p = sub.add_parser("run", help="run one workload on one variant")
-    run_p.add_argument("workload", help="Table 5 workload name")
+    run_p.add_argument("workload", nargs="?", default=None,
+                       help="Table 5 workload name (omit when "
+                            "replaying with --trace-file)")
     run_p.add_argument("variant", choices=VARIANTS)
+    _add_trace_file_flags(run_p)
     run_p.add_argument("--scale", type=float, default=None)
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--json", action="store_true")
@@ -567,8 +719,58 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--max-cells", type=int, default=None,
                          help="simulate at most N new cells, then "
                               "stop with exit code 3 (resumable)")
+    chaos_p.add_argument("--trace-file", metavar="EVENTS", default=None,
+                         help="run the campaign over a replayed event "
+                              "trace (transactified) instead of "
+                              "--workload")
     chaos_p.add_argument("--json", action="store_true")
     chaos_p.set_defaults(func=cmd_chaos)
+
+    convert_p = sub.add_parser(
+        "convert",
+        help="lower a SynchroTrace-style event file to a .trace")
+    convert_p.add_argument("events",
+                           help="event-trace file (.strace, gzip ok) "
+                                "or directory of per-thread shards")
+    convert_p.add_argument("-o", "--out", metavar="FILE", default=None,
+                           help="output trace path (default: "
+                                "<name>.trace; .gz compresses)")
+    convert_p.add_argument("--name", default=None,
+                           help="workload name (default: from filename)")
+    convert_p.add_argument("--remap", choices=["dense", "mod", "none"],
+                           default="dense")
+    convert_p.add_argument("--remap-space", type=int, default=1 << 18,
+                           help="block-address range for the mod policy")
+    convert_p.add_argument("--block-shift", type=int, default=6,
+                           help="log2 block size for address folding")
+    convert_p.add_argument("--transactify", action="store_true",
+                           help="turn mutex critical sections into "
+                                "transactions (BEGIN/COMMIT)")
+    convert_p.add_argument("--iop-cost", type=int, default=1,
+                           help="cycles charged per integer op")
+    convert_p.add_argument("--flop-cost", type=int, default=2,
+                           help="cycles charged per floating-point op")
+    convert_p.set_defaults(func=cmd_convert)
+
+    record_p = sub.add_parser(
+        "record",
+        help="record a synthetic workload as an event-trace file")
+    record_p.add_argument("workload", help="Table 5 workload name")
+    record_p.add_argument("-o", "--out", metavar="FILE", required=True,
+                          help="event-trace output (.strace; "
+                               ".gz compresses)")
+    record_p.add_argument("--scale", type=float, default=None)
+    record_p.add_argument("--seed", type=int, default=0)
+    record_p.add_argument("--threads", type=int, default=None)
+    record_p.set_defaults(func=cmd_record)
+
+    workloads_p = sub.add_parser(
+        "workloads",
+        help="list workloads and traces with op counts/footprints")
+    workloads_p.add_argument("--scale", type=float, default=None)
+    workloads_p.add_argument("--seed", type=int, default=0)
+    _add_trace_file_flags(workloads_p)
+    workloads_p.set_defaults(func=cmd_workloads)
 
     trace_p = sub.add_parser(
         "trace", help="traced run with conflict/abort attribution")
@@ -645,6 +847,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--no-fastpath", action="store_true",
                          help="run the grid with the access filters "
                               "disabled (results are identical)")
+    bench_p.add_argument("--no-traces", action="store_true",
+                         help="skip the fixture event-trace grid cells")
     bench_p.add_argument("--baseline", metavar="FILE", default=None,
                          help="compare against a committed "
                               "BENCH_perf.json; exit 1 on regression")

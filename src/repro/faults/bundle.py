@@ -45,6 +45,8 @@ class ReproBundle:
     #: Monitor skew tolerance (None = executor quantum).
     skew_tolerance: Optional[int] = None
     mutant: Optional[str] = None
+    #: Event-trace file the cell replayed (None = synthetic workload).
+    trace_file: Optional[str] = None
 
     def fault_plan(self) -> FaultPlan:
         return FaultPlan.from_dict(self.plan)
@@ -60,6 +62,7 @@ class ReproBundle:
             "cadence": self.cadence,
             "skew_tolerance": self.skew_tolerance,
             "mutant": self.mutant,
+            "trace_file": self.trace_file,
             "plan": self.plan,
             "error": self.error,
             "faults": self.faults,
@@ -94,6 +97,7 @@ class ReproBundle:
             cadence=int(data.get("cadence", 1)),
             skew_tolerance=data.get("skew_tolerance"),
             mutant=data.get("mutant"),
+            trace_file=data.get("trace_file"),
             plan=dict(data.get("plan", {})),
             error=dict(data.get("error", {})),
             faults=dict(data.get("faults", {})),

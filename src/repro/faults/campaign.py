@@ -121,21 +121,27 @@ class CampaignResult:
 def campaign_cell_key(workload: str, variant: str, seed: int,
                       plan: FaultPlan, scale: float, quantum: int,
                       cadence: int, skew_tolerance: Optional[int],
-                      mutant: Optional[str]) -> str:
+                      mutant: Optional[str],
+                      trace_digest: Optional[str] = None) -> str:
     """Journal key of one campaign cell: its full result-determining
     content, human-readable so a journal can be audited by eye.
 
     The plan rides as its content hash (name excluded, like the RNG
     lane), so renaming a plan never invalidates a journal but any
-    behavioural change to it does.
+    behavioural change to it does.  Trace-backed cells carry the
+    trace's content digest the same way: editing the trace file
+    invalidates its journal entries, moving it does not.
     """
-    return "/".join([
+    parts = [
         workload, resolve_variant(variant), f"s{seed}",
         f"plan:{plan.content_hash()[:16]}", f"scale:{scale:g}",
         f"q:{quantum}", f"cad:{cadence}",
         f"skew:{'auto' if skew_tolerance is None else skew_tolerance}",
         f"mut:{mutant or '-'}",
-    ])
+    ]
+    if trace_digest is not None:
+        parts.append(f"trace:{trace_digest[:16]}")
+    return "/".join(parts)
 
 
 def _cell_record(cell: ChaosCell,
@@ -192,30 +198,46 @@ def run_chaos_cell(workload: str = DEFAULT_WORKLOAD,
                    cadence: int = DEFAULT_CADENCE,
                    skew_tolerance: Optional[int] = None,
                    mutant: Optional[str] = None,
-                   registry=None) -> ChaosCell:
+                   registry=None,
+                   trace_file: Optional[str] = None) -> ChaosCell:
     """One chaos run: fresh machine, injected plan, halting monitor.
 
     Deterministic in every input: the same ``(seed, plan)`` replays
     the identical fault sequence, which is what makes the returned
     bundle (on failure) a faithful reproduction recipe.
+
+    ``trace_file`` replays a recorded event trace (transactified, so
+    the chaos faults have transactions to perturb) instead of a
+    synthetic generator; ``workload`` is then ignored and the cell is
+    named after the trace.
     """
     plan = plan if plan is not None else default_plan()
     variant = resolve_variant(variant)
-    registry_wl = tm_workloads()
-    if workload not in registry_wl:
-        raise ConfigError(
-            f"unknown workload {workload!r}; expected one of "
-            f"{sorted(registry_wl)}"
-        )
     sys_cfg = SystemConfig()
     htm_cfg = HTMConfig()
     bus = EventBus()
     sink = RingBufferSink(TRACE_TAIL_EVENTS)
     bus.attach(sink)
     machine = _build_machine(variant, sys_cfg, htm_cfg, bus, mutant)
-    trace = registry_wl[workload].generate(
-        seed=seed, scale=scale, threads=sys_cfg.num_cores
-    )
+    if trace_file is not None:
+        from repro.traces.convert import ConvertOptions
+        from repro.traces.workload import TraceWorkload
+
+        trace_wl = TraceWorkload.from_file(
+            trace_file, options=ConvertOptions(transactify=True))
+        workload = trace_wl.spec.name
+        trace = trace_wl.generate(seed=seed, scale=scale,
+                                  threads=sys_cfg.num_cores)
+    else:
+        registry_wl = tm_workloads()
+        if workload not in registry_wl:
+            raise ConfigError(
+                f"unknown workload {workload!r}; expected one of "
+                f"{sorted(registry_wl)}"
+            )
+        trace = registry_wl[workload].generate(
+            seed=seed, scale=scale, threads=sys_cfg.num_cores
+        )
     injector = FaultInjector(plan, seed=seed, registry=registry, bus=bus)
     monitor = InvariantMonitor(cadence=cadence,
                                skew_tolerance=skew_tolerance,
@@ -240,6 +262,7 @@ def run_chaos_cell(workload: str = DEFAULT_WORKLOAD,
             workload=workload, variant=variant, scale=scale, seed=seed,
             quantum=quantum, cadence=cadence,
             skew_tolerance=skew_tolerance, mutant=mutant,
+            trace_file=trace_file,
             plan=plan.to_dict(), error=dict(cell.error),
             faults=injector.snapshot(),
             trace_tail=[e.to_dict() for e in sink.events],
@@ -278,6 +301,7 @@ def replay_bundle(bundle: ReproBundle) -> ChaosCell:
         seed=bundle.seed, plan=bundle.fault_plan(), scale=bundle.scale,
         quantum=bundle.quantum, cadence=bundle.cadence,
         skew_tolerance=bundle.skew_tolerance, mutant=bundle.mutant,
+        trace_file=bundle.trace_file,
     )
 
 
@@ -296,6 +320,7 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
                  progress: Optional[Callable[[ChaosCell], None]] = None,
                  journal=None,
                  max_cells: Optional[int] = None,
+                 trace_file: Optional[str] = None,
                  ) -> CampaignResult:
     """Sweep ``seeds`` x ``variants`` under one fault plan.
 
@@ -312,6 +337,17 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
     invocations, and for deterministic interruption tests).
     """
     plan = plan if plan is not None else default_plan()
+    digest = None
+    if trace_file is not None:
+        from repro.traces.workload import trace_digest as _trace_digest
+
+        digest = _trace_digest(trace_file)
+        from pathlib import Path as _Path
+        name = _Path(trace_file).name
+        for suffix in (".gz", ".strace"):
+            if name.endswith(suffix):
+                name = name[: -len(suffix)]
+        workload = name
     result = CampaignResult(workload=workload, scale=scale,
                             plan=plan.to_dict())
     executed = 0
@@ -319,7 +355,8 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
         for seed in seeds:
             key = campaign_cell_key(workload, variant, seed, plan,
                                     scale, quantum, cadence,
-                                    skew_tolerance, mutant)
+                                    skew_tolerance, mutant,
+                                    trace_digest=digest)
             record = journal.get(key) if journal is not None else None
             if record is not None:
                 cell = _cell_from_record(record)
@@ -338,11 +375,13 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
                 workload=workload, variant=variant, seed=seed, plan=plan,
                 scale=scale, quantum=quantum, cadence=cadence,
                 skew_tolerance=skew_tolerance, mutant=mutant,
+                trace_file=trace_file,
             )
             if not cell.ok and shrink:
                 cell = _shrink_failure(cell, plan, workload, variant,
                                        seed, scale, quantum, cadence,
-                                       skew_tolerance, mutant)
+                                       skew_tolerance, mutant,
+                                       trace_file=trace_file)
             result.cells.append(cell)
             bundle_path = None
             if (not cell.ok and out_dir is not None
@@ -367,7 +406,8 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
 def _shrink_failure(cell: ChaosCell, plan: FaultPlan, workload: str,
                     variant: str, seed: int, scale: float, quantum: int,
                     cadence: int, skew_tolerance: Optional[int],
-                    mutant: Optional[str]) -> ChaosCell:
+                    mutant: Optional[str],
+                    trace_file: Optional[str] = None) -> ChaosCell:
     """Replace a failing cell with one reproduced on a minimal plan."""
 
     def still_fails(candidate: FaultPlan) -> bool:
@@ -375,6 +415,7 @@ def _shrink_failure(cell: ChaosCell, plan: FaultPlan, workload: str,
             workload=workload, variant=variant, seed=seed, plan=candidate,
             scale=scale, quantum=quantum, cadence=cadence,
             skew_tolerance=skew_tolerance, mutant=mutant,
+            trace_file=trace_file,
         ).ok
 
     minimal = shrink_plan(plan, still_fails)
@@ -384,6 +425,7 @@ def _shrink_failure(cell: ChaosCell, plan: FaultPlan, workload: str,
         workload=workload, variant=variant, seed=seed, plan=minimal,
         scale=scale, quantum=quantum, cadence=cadence,
         skew_tolerance=skew_tolerance, mutant=mutant,
+        trace_file=trace_file,
     )
     # Shrinking must preserve the failure; fall back to the original
     # cell if a flaky interaction made the minimal plan pass.

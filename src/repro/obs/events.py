@@ -51,6 +51,9 @@ class EventKind(Enum):
     CTX_SWITCH = "ctx_switch"
     PAGE_OUT = "page_out"
     PAGE_IN = "page_in"
+    # -- cross-thread dependencies in replayed traces (repro.traces)
+    THREAD_SIGNAL = "thread_signal"
+    THREAD_WAIT = "thread_wait"
     # -- fault injection & invariant monitoring (faults/)
     FAULT_INJECT = "fault_inject"
     INVARIANT_CHECK = "invariant_check"

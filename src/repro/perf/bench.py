@@ -20,7 +20,7 @@ Measures two things and writes both to ``BENCH_perf.json``:
   disabled faults subsystem is zero-cost (CI asserts the overhead
   stays under 2%).
 
-Schema of ``BENCH_perf.json`` (``repro-bench-perf/4``, documented in
+Schema of ``BENCH_perf.json`` (``repro-bench-perf/5``, documented in
 ``docs/performance.md``):
 
 ``schema``        schema identifier string;
@@ -81,6 +81,7 @@ from repro.perf.legacy import (
 from repro.perf.runner import CellSpec, ParallelRunner
 from repro.perf.supervise import FAIL_FAST, SupervisorConfig
 from repro.runtime.executor import Executor
+from repro.traces.workload import TraceWorkloadSpec, fixture_workloads
 from repro.workloads import tm_workloads
 from repro.workloads.trace import (
     OP_BEGIN,
@@ -100,7 +101,10 @@ from repro.workloads.trace import (
 #: RunReport: retries, timeouts, worker deaths, per-cell failures)
 #: and cell rows may carry ``failed: true`` with null stats when the
 #: grid ran under ``--failure-policy continue``.
-BENCH_SCHEMA = "repro-bench-perf/4"
+#: /5: the grid gained replayed-trace cells (the committed fixture
+#: traces, transactified, at scale 1.0) and ``config.traces`` lists
+#: them; trace rows carry ``trace: true``.
+BENCH_SCHEMA = "repro-bench-perf/5"
 
 #: Default output path, at the repo root like the other BENCH files.
 DEFAULT_OUT = "BENCH_perf.json"
@@ -124,6 +128,10 @@ GRID_VARIANTS = (
 QUICK_WORKLOADS = ("Cholesky", "Vacation-Low")
 QUICK_VARIANTS = ("TokenTM", "LogTM-SE_4xH3")
 QUICK_SCALE_FACTOR = 0.25
+
+#: Fixture event traces replayed as grid cells (``--quick`` keeps one).
+#: Traces run at their recorded size; ``scale`` is pinned to 1.0.
+QUICK_TRACE_FIXTURES = ("mutex_ring",)
 
 #: Microbenchmark trace shape (per thread): transactions of a few
 #: private accesses followed by a long COMPUTE run — the opcode mix
@@ -176,7 +184,7 @@ def _grid_cells_payload(specs: Sequence[CellSpec], cells: Sequence[Cell],
             continue
         stats = cell.stats
         ops = int(stats.machine.get("_trace_ops", 0))
-        rows.append({
+        row = {
             "workload": spec.workload.name,
             "variant": spec.variant,
             "seed": spec.seed,
@@ -188,7 +196,10 @@ def _grid_cells_payload(specs: Sequence[CellSpec], cells: Sequence[Cell],
             "commits": stats.commits,
             "aborts": stats.aborts,
             "cache_hit": wall is None,
-        })
+        }
+        if isinstance(spec.workload, TraceWorkloadSpec):
+            row["trace"] = True
+        rows.append(row)
     return rows
 
 
@@ -512,8 +523,15 @@ def bench_specs(quick: bool = False, seed: int = 2008,
                 workload_names: Optional[Sequence[str]] = None,
                 variants: Optional[Sequence[str]] = None,
                 scale_factor: float = 1.0,
-                fast_path: bool = True) -> List[CellSpec]:
-    """The benchmark grid as cell specs (Figure 5 grid by default)."""
+                fast_path: bool = True,
+                traces: bool = True) -> List[CellSpec]:
+    """The benchmark grid as cell specs (Figure 5 grid by default).
+
+    With ``traces`` (the default) the committed fixture event traces
+    are appended as replay cells — transactified, at their recorded
+    size (``scale`` pinned to 1.0, which the trace workload ignores
+    but the cache key records).  ``--quick`` keeps one fixture.
+    """
     registry = tm_workloads()
     if workload_names is None:
         workload_names = QUICK_WORKLOADS if quick else tuple(GRID_SCALES)
@@ -530,6 +548,14 @@ def bench_specs(quick: bool = False, seed: int = 2008,
             specs.append(CellSpec(registry[name].spec, variant,
                                   seed=seed, scale=scale,
                                   fast_path=fast_path))
+    if traces:
+        fixtures = fixture_workloads()
+        names = QUICK_TRACE_FIXTURES if quick else tuple(fixtures)
+        for name in names:
+            for variant in variants:
+                specs.append(CellSpec(fixtures[name].spec, variant,
+                                      seed=seed, scale=1.0,
+                                      fast_path=fast_path))
     return specs
 
 
@@ -545,11 +571,13 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
               membench: bool = True,
               faultbench: bool = True,
               fast_path: bool = True,
+              traces: bool = True,
               supervisor: Optional[SupervisorConfig] = None) -> Dict:
     """Run the harness and write ``BENCH_perf.json``; returns payload."""
     specs = bench_specs(quick=quick, seed=seed,
                         workload_names=workload_names, variants=variants,
-                        scale_factor=scale_factor, fast_path=fast_path)
+                        scale_factor=scale_factor, fast_path=fast_path,
+                        traces=traces)
     cache = ResultCache(cache_dir) if cache_dir else None
     grid, metrics = run_grid(specs, workers=workers, cache=cache,
                              supervisor=supervisor)
@@ -578,6 +606,9 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
             "fast_path": fast_path,
             "cache_dir": cache_dir,
             "scales": {c["workload"]: c["scale"] for c in grid["cells"]},
+            "traces": sorted({s.workload.name for s in specs
+                              if isinstance(s.workload,
+                                            TraceWorkloadSpec)}),
         },
         "grid": grid,
         "totals": {

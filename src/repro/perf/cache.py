@@ -45,7 +45,10 @@ from typing import Any, Dict, Optional
 #: 3: CellSpec payload grew ``faults`` / ``monitor`` fields: chaos
 #:    runs must never share entries with clean runs (and pre-faults
 #:    entries never answer post-faults requests).
-CACHE_SCHEMA = 3
+#: 4: ``workload`` may now be a trace spec (path/digest/convert) and
+#:    the executor gained SIGNAL/WAIT dependency ops — entries from
+#:    builds without the trace front-end must not answer for it.
+CACHE_SCHEMA = 4
 
 #: Default cache directory (overridable via the environment).
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"

@@ -48,7 +48,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.experiments import Cell, run_cell
 from repro.common.config import HTMConfig, SystemConfig
@@ -68,7 +68,12 @@ from repro.perf.supervise import (
     RunReport,
     SupervisorConfig,
 )
+from repro.traces.workload import TraceWorkload, TraceWorkloadSpec
 from repro.workloads.base import SyntheticTxnWorkload, TxnWorkloadSpec
+
+#: Workload identity a cell can carry: a synthetic generator spec or
+#: a content-hashed trace spec (path + digest + converter options).
+WorkloadSpec = Union[TxnWorkloadSpec, TraceWorkloadSpec]
 
 
 @dataclass(frozen=True)
@@ -77,10 +82,13 @@ class CellSpec:
 
     Carries the workload *spec* (a frozen value object), not the
     generator, so the whole thing pickles cheaply to workers and
-    hashes stably for the cache key.
+    hashes stably for the cache key.  Trace-backed cells carry a
+    :class:`~repro.traces.workload.TraceWorkloadSpec`: the trace file
+    digest and converter options are the cache identity, so editing a
+    trace in place invalidates exactly its cells.
     """
 
-    workload: TxnWorkloadSpec
+    workload: WorkloadSpec
     variant: str
     seed: int = 0
     scale: float = 1.0
@@ -122,7 +130,8 @@ class CellSpec:
         return FaultPlan.from_canonical(self.faults)
 
 
-def grid_specs(workloads: Iterable[SyntheticTxnWorkload],
+def grid_specs(workloads: Iterable[Union[SyntheticTxnWorkload,
+                                         TraceWorkload]],
                variants: Sequence[str],
                seeds: Sequence[int] = (0,),
                scale: float = 1.0,
@@ -150,7 +159,10 @@ def grid_specs(workloads: Iterable[SyntheticTxnWorkload],
 def _simulate(spec: CellSpec) -> Tuple[Cell, float]:
     """Worker body: run one cell, returning (cell, wall_seconds)."""
     start = perf_counter()
-    workload = SyntheticTxnWorkload(spec.workload)
+    if isinstance(spec.workload, TraceWorkloadSpec):
+        workload = TraceWorkload.from_spec(spec.workload)
+    else:
+        workload = SyntheticTxnWorkload(spec.workload)
     cell = run_cell(workload, spec.variant, scale=spec.scale,
                     seed=spec.seed, threads=spec.threads,
                     system=spec.system, htm_config=spec.htm,

@@ -36,8 +36,10 @@ from repro.workloads.trace import (
     OP_NT_READ,
     OP_NT_WRITE,
     OP_READ,
+    OP_SIGNAL,
     OP_SYSCALL,
     OP_UNLOCK,
+    OP_WAIT,
     OP_WRITE,
     WorkloadTrace,
     validate_trace,
@@ -50,6 +52,21 @@ DEFAULT_QUANTUM = 200
 #: livelocked (a simulator bug; the timestamp policy should converge).
 MAX_TXN_ATTEMPTS = 50_000
 
+#: Cross-thread wait (OP_WAIT) spin parameters.  A blocked waiter
+#: retries with exponentially growing simulated delays so the
+#: min-clock scheduler quickly hands the cycles to the threads that
+#: can actually signal; on release the waiter's clock rewinds to
+#: max(arrival, satisfying signal) so the spin probing never inflates
+#: simulated time (schedule-faithful barrier exit = last arrival).
+WAIT_SPIN_BASE = 50
+WAIT_SPIN_CAP = 20_000
+#: Consecutive failed probes of one wait before the run is declared
+#: deadlocked (every producer had ~200M cycles to signal by then).
+WAIT_SPIN_LIMIT = 10_000
+#: Cycles charged for a satisfied wait / an issued signal (futex-ish).
+WAIT_RESUME_COST = 10
+SIGNAL_COST = 5
+
 
 class _Thread:
     """Executor-side state of one simulated thread."""
@@ -57,7 +74,8 @@ class _Thread:
     __slots__ = (
         "tid", "core", "ops", "pc", "clock", "in_txn", "begin_pc",
         "nesting", "txn_epoch", "doomed_epoch", "attempts", "stalls",
-        "txn_start", "done", "blocked_lock",
+        "txn_start", "done", "blocked_lock", "wait_started",
+        "wait_spins",
     )
 
     def __init__(self, tid: int, core: int, ops: List) -> None:
@@ -76,6 +94,11 @@ class _Thread:
         self.txn_start = 0
         self.done = not ops
         self.blocked_lock: Optional[int] = None
+        #: Clock at first probe of the currently blocked OP_WAIT
+        #: (-1 = not blocked on a wait); the release clock is computed
+        #: from this, not from the spin-inflated running clock.
+        self.wait_started = -1
+        self.wait_spins = 0
 
     @property
     def doomed(self) -> bool:
@@ -147,11 +170,18 @@ class Executor:
         self._monitor = monitor if monitor is not None else NULL_MONITOR
         self._commit_budget = config.max_commits
         self._audit = config.audit
+        #: Cross-thread dependency state (recorded-trace replays):
+        #: signal counters and, per signal id, the clock of each
+        #: increment so a satisfied wait can release at the exact
+        #: simulated time its condition became true.
+        self._signals: Dict[int, int] = {}
+        self._signal_times: Dict[int, List[int]] = {}
         # Opcode dispatch table: the quantum loop indexes this list
         # instead of walking an if/elif chain.  Every handler takes
-        # (thread, arg) and returns None, except _lock, which returns
-        # False when the thread blocked and must yield its quantum.
-        table = [self._op_unknown] * (OP_SYSCALL + 1)
+        # (thread, arg) and returns None, except _lock and _wait,
+        # which return False when the thread blocked and must yield
+        # its quantum.
+        table = [self._op_unknown] * (OP_WAIT + 1)
         table[OP_BEGIN] = self._begin
         table[OP_COMMIT] = self._commit
         table[OP_READ] = self._txn_read
@@ -162,6 +192,8 @@ class Executor:
         table[OP_LOCK] = self._lock
         table[OP_UNLOCK] = self._unlock
         table[OP_SYSCALL] = self._op_compute
+        table[OP_SIGNAL] = self._signal
+        table[OP_WAIT] = self._wait
         self._dispatch = table
 
     # ------------------------------------------------------------------
@@ -706,6 +738,70 @@ class Executor:
         thread.clock += 5
         self._locks[lock_id] = (None, thread.clock)
         thread.pc += 1
+
+    # -- cross-thread dependencies (recorded-trace replays) ----------------
+
+    def _signal(self, thread: _Thread, signal_id: int) -> None:
+        """SIGNAL: increment a named counter at the thread's clock.
+
+        Signal times are recorded so a later WAIT can release at the
+        exact simulated time its condition became true, independent
+        of how long the waiter spun probing for it.
+        """
+        thread.clock += SIGNAL_COST
+        self._signals[signal_id] = self._signals.get(signal_id, 0) + 1
+        times = self._signal_times.get(signal_id)
+        if times is None:
+            times = self._signal_times[signal_id] = []
+        times.append(thread.clock)
+        thread.pc += 1
+        if self._bus.enabled:
+            self._bus.emit(EventKind.THREAD_SIGNAL, cycle=thread.clock,
+                           tid=thread.tid, core=thread.core,
+                           signal=signal_id,
+                           count=self._signals[signal_id])
+
+    def _wait(self, thread: _Thread, wait_id: int) -> Optional[bool]:
+        """WAIT: block until the named signal counter reaches its target.
+
+        Satisfied waits release at ``max(arrival, satisfying signal)``
+        — the clock the dependency semantics dictate — regardless of
+        the spin-probe delays that accumulated while blocked, which
+        exist only to let the min-clock scheduler run the producers.
+        Returns False while blocked (yields the quantum).
+        """
+        signal_id, target = self._trace.waits[wait_id]
+        times = self._signal_times.get(signal_id)
+        if times is not None and len(times) >= target:
+            arrival = thread.wait_started if thread.wait_started >= 0 \
+                else thread.clock
+            released = max(arrival, times[target - 1]) + WAIT_RESUME_COST
+            if self._bus.enabled:
+                self._bus.emit(EventKind.THREAD_WAIT, cycle=released,
+                               tid=thread.tid, core=thread.core,
+                               signal=signal_id, target=target,
+                               waited=max(0, released - arrival))
+            thread.clock = released
+            thread.wait_started = -1
+            thread.wait_spins = 0
+            thread.pc += 1
+            return None
+        if thread.wait_started < 0:
+            thread.wait_started = thread.clock
+            thread.wait_spins = 0
+        thread.wait_spins += 1
+        if thread.wait_spins > WAIT_SPIN_LIMIT:
+            have = self._signals.get(signal_id, 0)
+            raise SimulationError(
+                f"deadlock: thread {thread.tid} waited on signal "
+                f"{signal_id} ({have}/{target} signalled) for "
+                f"{thread.wait_spins} probes with no producer progress"
+            )
+        thread.clock += min(
+            WAIT_SPIN_BASE << min(thread.wait_spins - 1, 9),
+            WAIT_SPIN_CAP,
+        )
+        return False
 
 
 def run_workload(htm: HTM, trace: WorkloadTrace,

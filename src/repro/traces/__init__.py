@@ -1,0 +1,55 @@
+"""Trace ingestion: replay SynchroTrace-style event traces.
+
+The front-end that turns dependency-annotated per-thread event files
+(recorded from real multithreaded programs, or captured from the
+synthetic generators by :mod:`repro.traces.record`) into runnable
+:class:`~repro.workloads.trace.WorkloadTrace` streams — see
+docs/traces.md for the format and conversion semantics.
+"""
+
+from repro.traces.convert import (
+    REMAP_POLICIES,
+    ConvertOptions,
+    convert_events,
+    convert_file,
+)
+from repro.traces.events import (
+    CommEvent,
+    ComputeEvent,
+    PTH_TYPES,
+    PthreadEvent,
+    parse_events,
+    parse_lines,
+    trace_files,
+)
+from repro.traces.record import record_trace, replay_options
+from repro.traces.workload import (
+    FIXTURE_DIR,
+    TraceWorkload,
+    TraceWorkloadSpec,
+    fixture_path,
+    fixture_workloads,
+    trace_digest,
+)
+
+__all__ = [
+    "CommEvent",
+    "ComputeEvent",
+    "ConvertOptions",
+    "FIXTURE_DIR",
+    "PTH_TYPES",
+    "PthreadEvent",
+    "REMAP_POLICIES",
+    "TraceWorkload",
+    "TraceWorkloadSpec",
+    "convert_events",
+    "convert_file",
+    "fixture_path",
+    "fixture_workloads",
+    "parse_events",
+    "parse_lines",
+    "record_trace",
+    "replay_options",
+    "trace_digest",
+    "trace_files",
+]

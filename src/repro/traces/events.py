@@ -1,0 +1,282 @@
+"""SynchroTrace-style event files: model and streaming parser.
+
+The trace front-end ingests dependency-annotated per-thread event
+streams in the spirit of SynchroTrace (Nilakantan et al.): the trace
+records *what* a multithreaded program did — computation amounts,
+memory accesses, and pthread synchronization — rather than its
+instructions, which is enough to drive uncore/memory-system
+simulation without re-executing the program.
+
+This module defines the on-disk line format (documented normatively
+in docs/traces.md; it is SynchroTrace-*style*, not byte-compatible
+with the gem5 replay engine's files) and a streaming parser.  Three
+event shapes exist:
+
+Computation event — local work plus its memory accesses::
+
+    <eid>,<tid>,<iops>,<flops>,<nreads>,<nwrites> [# raddr[:size] ...] [* waddr[:size] ...]
+
+Communication event — reads of values produced by other threads
+(each ``#`` group names the producing thread/event and the addresses
+read from it)::
+
+    <eid>,<tid> # <ptid> <peid> addr[:size] ... [# ...]
+
+Pthread event — synchronization, ``<type>`` from :data:`PTH_TYPES`::
+
+    <eid>,<tid>,pth_ty:<type>^<arg>
+
+Addresses are byte addresses; ``:size`` defaults to
+:data:`DEFAULT_ACCESS_SIZE` bytes.  ``eid`` is a per-thread event
+sequence number and must be strictly increasing within each thread.
+Blank lines and ``!``-prefixed comments are ignored.
+
+Parsing is *streaming*: :func:`parse_events` yields events one line
+at a time from plain or gzip files (sniffed by magic bytes, not file
+name), so a multi-million-event trace is never materialized in
+memory.  A trace may be a single file or a directory of per-thread
+shard files (see :func:`trace_files`).
+"""
+
+from __future__ import annotations
+
+import gzip
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Tuple, Union
+
+from repro.common.errors import TraceError
+
+#: Bytes covered by an access that does not carry an explicit size.
+DEFAULT_ACCESS_SIZE = 4
+
+#: Pthread event types (``pth_ty:<type>^<arg>``).  1-7 mirror the
+#: SynchroTrace taxonomy; 8 is a local extension so recorded
+#: lock-application workloads (which model syscalls) round-trip.
+PTH_MUTEX_LOCK = 1    # arg: mutex address/id
+PTH_MUTEX_UNLOCK = 2  # arg: mutex address/id
+PTH_CREATE = 3        # arg: created thread id
+PTH_JOIN = 4          # arg: joined thread id
+PTH_BARRIER = 5       # arg: barrier address/id
+PTH_COND_WAIT = 6     # arg: condition address/id
+PTH_COND_SIGNAL = 7   # arg: condition address/id
+PTH_SYSCALL = 8       # arg: cycle cost (extension, not SynchroTrace)
+
+PTH_TYPES = {
+    PTH_MUTEX_LOCK: "mutex_lock",
+    PTH_MUTEX_UNLOCK: "mutex_unlock",
+    PTH_CREATE: "create",
+    PTH_JOIN: "join",
+    PTH_BARRIER: "barrier",
+    PTH_COND_WAIT: "cond_wait",
+    PTH_COND_SIGNAL: "cond_signal",
+    PTH_SYSCALL: "syscall",
+}
+
+#: One memory access: (byte address, size in bytes).
+Access = Tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class ComputeEvent:
+    """Local computation with its memory accesses."""
+
+    eid: int
+    tid: int
+    iops: int
+    flops: int
+    reads: Tuple[Access, ...]
+    writes: Tuple[Access, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class CommEvent:
+    """Reads of data produced by other threads.
+
+    ``sources`` lists one entry per ``#`` group: the producing thread,
+    the producing event within that thread, and the addresses read.
+    """
+
+    eid: int
+    tid: int
+    sources: Tuple[Tuple[int, int, Tuple[Access, ...]], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PthreadEvent:
+    """A synchronization event (:data:`PTH_TYPES`)."""
+
+    eid: int
+    tid: int
+    ptype: int
+    arg: int
+
+
+TraceEvent = Union[ComputeEvent, CommEvent, PthreadEvent]
+
+#: First two bytes of every gzip stream (RFC 1952).
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def open_trace_file(path: Union[str, Path]) -> IO[str]:
+    """Open one event file as text, gunzipping if sniffed as gzip."""
+    path = Path(path)
+    with path.open("rb") as probe:
+        head = probe.read(2)
+    if head == _GZIP_MAGIC:
+        return gzip.open(path, "rt", encoding="utf-8")
+    return path.open("r", encoding="utf-8")
+
+
+def trace_files(path: Union[str, Path]) -> Tuple[Path, ...]:
+    """Resolve a trace path to its ordered event files.
+
+    A file is a one-element tuple; a directory yields its
+    ``*.strace`` / ``*.strace.gz`` shards sorted by name (the
+    per-thread sharding SynchroTrace tools produce).
+    """
+    path = Path(path)
+    if path.is_dir():
+        shards = sorted(p for p in path.iterdir()
+                        if p.name.endswith((".strace", ".strace.gz")))
+        if not shards:
+            raise TraceError(f"{path}: directory holds no *.strace files")
+        return tuple(shards)
+    if not path.exists():
+        raise TraceError(f"{path}: no such trace file")
+    return (path,)
+
+
+def _parse_access(token: str, where: str) -> Access:
+    """``addr`` or ``addr:size`` -> (addr, size)."""
+    addr, sep, size = token.partition(":")
+    try:
+        address = int(addr, 0)
+        nbytes = int(size, 0) if sep else DEFAULT_ACCESS_SIZE
+    except ValueError:
+        raise TraceError(f"{where}: malformed access {token!r}") from None
+    if address < 0 or nbytes <= 0:
+        raise TraceError(f"{where}: bad access {token!r}")
+    return (address, nbytes)
+
+
+def _parse_access_group(tokens, where: str) -> Tuple[Access, ...]:
+    return tuple(_parse_access(token, where) for token in tokens)
+
+
+def _parse_line(line: str, where: str) -> TraceEvent:
+    """Parse one non-blank, non-comment event line."""
+    # Split off '#'-introduced groups first; '*' introduces the write
+    # group of a computation event.
+    head, *hash_groups = [part.strip() for part in line.split("#")]
+    fields = [f.strip() for f in head.split(",")]
+    try:
+        eid, tid = int(fields[0]), int(fields[1])
+    except (ValueError, IndexError):
+        raise TraceError(f"{where}: malformed event header") from None
+    if eid < 0 or tid < 0:
+        raise TraceError(f"{where}: negative eid/tid")
+
+    if len(fields) == 3 and fields[2].startswith("pth_ty:"):
+        body = fields[2][len("pth_ty:"):]
+        ptype_s, sep, arg_s = body.partition("^")
+        try:
+            ptype = int(ptype_s)
+            arg = int(arg_s) if sep else 0
+        except ValueError:
+            raise TraceError(f"{where}: malformed pthread event") from None
+        if ptype not in PTH_TYPES:
+            raise TraceError(f"{where}: unknown pthread type {ptype}")
+        return PthreadEvent(eid, tid, ptype, arg)
+
+    if len(fields) == 2:
+        if not hash_groups:
+            raise TraceError(f"{where}: communication event without "
+                             f"producer groups")
+        sources = []
+        for group in hash_groups:
+            tokens = group.split()
+            if len(tokens) < 3:
+                raise TraceError(f"{where}: comm group needs "
+                                 f"<ptid> <peid> <addr>...")
+            try:
+                ptid, peid = int(tokens[0]), int(tokens[1])
+            except ValueError:
+                raise TraceError(f"{where}: malformed comm group") from None
+            sources.append(
+                (ptid, peid, _parse_access_group(tokens[2:], where)))
+        return CommEvent(eid, tid, tuple(sources))
+
+    if len(fields) == 6:
+        try:
+            iops, flops = int(fields[2]), int(fields[3])
+            nreads, nwrites = int(fields[4]), int(fields[5])
+        except ValueError:
+            raise TraceError(f"{where}: malformed computation event") \
+                from None
+        if min(iops, flops, nreads, nwrites) < 0:
+            raise TraceError(f"{where}: negative computation field")
+        read_tokens = []
+        write_tokens = []
+        for group in hash_groups:
+            before, star, after = group.partition("*")
+            read_tokens.extend(before.split())
+            if star:
+                write_tokens.extend(after.split())
+        if not hash_groups and "*" in head:
+            raise TraceError(f"{where}: write group without read group "
+                             f"marker '#'")
+        reads = _parse_access_group(read_tokens, where)
+        writes = _parse_access_group(write_tokens, where)
+        if len(reads) != nreads:
+            raise TraceError(f"{where}: declared {nreads} reads, "
+                             f"listed {len(reads)}")
+        if len(writes) != nwrites:
+            raise TraceError(f"{where}: declared {nwrites} writes, "
+                             f"listed {len(writes)}")
+        return ComputeEvent(eid, tid, iops, flops, reads, writes)
+
+    raise TraceError(f"{where}: unrecognized event shape "
+                     f"({len(fields)} fields)")
+
+
+def parse_lines(lines: Iterable[str],
+                origin: str = "<trace>") -> Iterator[TraceEvent]:
+    """Stream events from an iterable of lines.
+
+    Enforces per-thread eid monotonicity (the format's only
+    cross-line invariant).  Lazy: consumes ``lines`` one at a time.
+    """
+    last_eid = {}
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("!"):
+            continue
+        event = _parse_line(line, f"{origin}:{lineno}")
+        previous = last_eid.get(event.tid, -1)
+        if event.eid <= previous:
+            raise TraceError(
+                f"{origin}:{lineno}: event id {event.eid} not increasing "
+                f"for thread {event.tid} (previous {previous})")
+        last_eid[event.tid] = event.eid
+        yield event
+
+
+def parse_events(path: Union[str, Path]) -> Iterator[TraceEvent]:
+    """Stream every event of a trace file or shard directory.
+
+    Shards are consumed in :func:`trace_files` order, each fully
+    before the next; per-thread eid monotonicity is enforced across
+    the whole stream.
+    """
+    last_eid = {}
+    for shard in trace_files(path):
+        with open_trace_file(shard) as src:
+            for event in parse_lines(src, origin=str(shard)):
+                previous = last_eid.get(event.tid, -1)
+                if event.eid <= previous:
+                    raise TraceError(
+                        f"{shard}: event id {event.eid} not increasing "
+                        f"for thread {event.tid} across shards")
+                last_eid[event.tid] = event.eid
+                yield event

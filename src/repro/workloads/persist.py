@@ -6,20 +6,33 @@ useful for sharing the exact inputs behind a result.
 
 Format (one file per workload)::
 
-    #repro-trace v1
+    #repro-trace v1                  (v2 when wait conditions present)
     #name <workload name>
     #param <key> <json value>        (zero or more)
+    #wait <id> <signal> <count>      (v2 only, zero or more)
     T <thread id>                    (starts a thread section)
     <opcode> <arg>                   (one op per line, integers)
 
 Opcodes are the integer constants of :mod:`repro.workloads.trace`.
+
+A trace whose :attr:`WorkloadTrace.waits` table is empty always
+writes v1 so files produced by older sessions stay byte-identical;
+``#wait`` lines force v2 because a v1 reader would silently drop the
+cross-thread dependencies and then fail validation on the orphaned
+``OP_WAIT`` ops.
+
+Compression is transparent: paths ending in ``.gz`` save through
+gzip, and :func:`load_trace` sniffs the two gzip magic bytes
+(``1f 8b``) so a compressed file loads correctly whatever its name.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 from pathlib import Path
-from typing import Union
+from typing import IO, Union
 
 from repro.common.errors import TraceError
 from repro.workloads.trace import (
@@ -30,13 +43,56 @@ from repro.workloads.trace import (
 )
 
 MAGIC = "#repro-trace v1"
+MAGIC_V2 = "#repro-trace v2"
+
+#: First two bytes of every gzip stream (RFC 1952).
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def _open_for_read(path: Path) -> IO[str]:
+    """Open ``path`` as text, decompressing if it is a gzip stream."""
+    with path.open("rb") as probe:
+        head = probe.read(2)
+    if head == _GZIP_MAGIC:
+        return gzip.open(path, "rt", encoding="utf-8")
+    return path.open("r", encoding="utf-8")
+
+
+class _GzipTextWriter(io.TextIOWrapper):
+    """Text writer whose gzip output is fully content-determined.
+
+    The gzip header normally embeds the file's mtime and name; both
+    are suppressed (mtime pinned to zero, stream opened via fileobj)
+    so identical traces produce byte-identical files whatever they
+    are called — which is what lets content hashes and committed
+    ``.gz`` fixtures stay stable across regeneration.
+    """
+
+    def __init__(self, path: Path):
+        self._binary = path.open("wb")
+        gz = gzip.GzipFile(fileobj=self._binary, mode="wb", mtime=0,
+                           filename="")
+        super().__init__(gz, encoding="utf-8")
+
+    def close(self) -> None:
+        try:
+            super().close()  # flushes text, writes the gzip trailer
+        finally:
+            self._binary.close()
+
+
+def _open_for_write(path: Path) -> IO[str]:
+    """Open ``path`` as text, compressing when it ends in ``.gz``."""
+    if path.suffix == ".gz":
+        return _GzipTextWriter(path)
+    return path.open("w", encoding="utf-8")
 
 
 def save_trace(trace: WorkloadTrace, path: Union[str, Path]) -> None:
-    """Write a trace to ``path`` in the v1 text format."""
+    """Write a trace to ``path`` (v1, or v2 when it carries waits)."""
     path = Path(path)
-    with path.open("w", encoding="utf-8") as out:
-        out.write(MAGIC + "\n")
+    with _open_for_write(path) as out:
+        out.write((MAGIC_V2 if trace.waits else MAGIC) + "\n")
         out.write(f"#name {trace.name}\n")
         for key, value in sorted(trace.params.items()):
             try:
@@ -44,6 +100,9 @@ def save_trace(trace: WorkloadTrace, path: Union[str, Path]) -> None:
             except TypeError:
                 encoded = json.dumps(str(value))
             out.write(f"#param {key} {encoded}\n")
+        for wait_id in sorted(trace.waits):
+            signal_id, count = trace.waits[wait_id]
+            out.write(f"#wait {wait_id} {signal_id} {count}\n")
         for thread in trace.threads:
             out.write(f"T {thread.thread_id}\n")
             for opcode, arg in thread.ops:
@@ -51,15 +110,17 @@ def save_trace(trace: WorkloadTrace, path: Union[str, Path]) -> None:
 
 
 def load_trace(path: Union[str, Path], validate: bool = True) -> WorkloadTrace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace` (plain or gzip)."""
     path = Path(path)
-    name = path.stem
+    name = path.stem[:-len(".trace")] if path.stem.endswith(".trace") \
+        else path.stem
     params = {}
+    waits = {}
     threads = []
     current = None
-    with path.open("r", encoding="utf-8") as src:
+    with _open_for_read(path) as src:
         first = src.readline().rstrip("\n")
-        if first != MAGIC:
+        if first not in (MAGIC, MAGIC_V2):
             raise TraceError(f"{path}: not a repro trace file")
         for lineno, raw in enumerate(src, start=2):
             line = raw.strip()
@@ -70,6 +131,11 @@ def load_trace(path: Union[str, Path], validate: bool = True) -> WorkloadTrace:
             elif line.startswith("#param "):
                 _, key, encoded = line.split(" ", 2)
                 params[key] = json.loads(encoded)
+            elif line.startswith("#wait "):
+                parts = line.split()
+                if len(parts) != 4:
+                    raise TraceError(f"{path}:{lineno}: malformed #wait")
+                waits[int(parts[1])] = (int(parts[2]), int(parts[3]))
             elif line.startswith("#"):
                 continue  # comment
             elif line.startswith("T "):
@@ -89,7 +155,7 @@ def load_trace(path: Union[str, Path], validate: bool = True) -> WorkloadTrace:
                         f"{path}:{lineno}: unknown opcode {opcode}"
                     )
                 current.ops.append((opcode, arg))
-    trace = WorkloadTrace(name, threads, params)
+    trace = WorkloadTrace(name, threads, params, waits=waits)
     if validate:
         validate_trace(trace)
     return trace

@@ -10,6 +10,16 @@ paper's read/write-set accounting.  A transactional region is
 bracketed by BEGIN/COMMIT; on abort the executor re-runs the region
 from its BEGIN.  Lock-based workloads (for the Table 1 analysis) use
 LOCK/UNLOCK/SYSCALL and never enter transactions.
+
+Replayed (recorded) workloads additionally carry *dependency* ops:
+SIGNAL increments a named signal counter and WAIT blocks its thread
+until a counter reaches a target.  The wait conditions live in
+:attr:`WorkloadTrace.waits` (wait id -> (signal id, required count));
+the trace ingestion converter (:mod:`repro.traces`) lowers barriers,
+thread create/join, and producer-consumer edges onto them, and the
+executor enforces them at replay time so replays are deterministic
+and schedule-faithful.  Dependency ops are forbidden inside
+transactions (an aborted region would replay its signals).
 """
 
 from __future__ import annotations
@@ -31,6 +41,8 @@ OP_COMPUTE = 6
 OP_LOCK = 7
 OP_UNLOCK = 8
 OP_SYSCALL = 9
+OP_SIGNAL = 10
+OP_WAIT = 11
 
 OP_NAMES = {
     OP_BEGIN: "BEGIN",
@@ -43,6 +55,8 @@ OP_NAMES = {
     OP_LOCK: "LOCK",
     OP_UNLOCK: "UNLOCK",
     OP_SYSCALL: "SYSCALL",
+    OP_SIGNAL: "SIGNAL",
+    OP_WAIT: "WAIT",
 }
 
 #: One operation: (opcode, argument).
@@ -89,6 +103,14 @@ def syscall(cycles: int) -> Op:
     return (OP_SYSCALL, cycles)
 
 
+def signal(signal_id: int) -> Op:
+    return (OP_SIGNAL, signal_id)
+
+
+def wait(wait_id: int) -> Op:
+    return (OP_WAIT, wait_id)
+
+
 @dataclass
 class ThreadTrace:
     """Operation stream of one simulated thread."""
@@ -111,6 +133,12 @@ class WorkloadTrace:
     threads: List[ThreadTrace]
     #: Free-form generator parameters, recorded for reports.
     params: Dict[str, object] = field(default_factory=dict)
+    #: Cross-thread wait conditions: wait id -> (signal id, required
+    #: count).  An OP_WAIT's argument indexes this table; the executor
+    #: blocks the thread until the named signal counter (incremented
+    #: by OP_SIGNAL ops, possibly on other threads) reaches the
+    #: required count.  Empty for purely synthetic workloads.
+    waits: Dict[int, Tuple[int, int]] = field(default_factory=dict)
 
     @property
     def num_threads(self) -> int:
@@ -144,7 +172,10 @@ def validate_trace(trace: WorkloadTrace) -> None:
     Rules: BEGIN/COMMIT balance per thread (nesting is allowed — the
     executor flattens it); transactional READ/WRITE appear only
     inside a transaction; LOCK/UNLOCK nest properly per thread;
-    arguments are non-negative (COMPUTE/SYSCALL must be positive).
+    arguments are non-negative (COMPUTE/SYSCALL must be positive);
+    SIGNAL/WAIT appear only outside transactions (an aborted region
+    would replay its signals) and every WAIT's id resolves through
+    :attr:`WorkloadTrace.waits` to a positive required count.
     """
     for thread in trace.threads:
         depth = 0
@@ -182,6 +213,24 @@ def validate_trace(trace: WorkloadTrace) -> None:
                 if not held_locks or held_locks[-1] != arg:
                     raise TraceError(f"unbalanced UNLOCK({arg}) at {where}")
                 held_locks.pop()
+            elif opcode == OP_SIGNAL:
+                if in_txn:
+                    raise TraceError(
+                        f"SIGNAL inside transaction at {where}"
+                    )
+            elif opcode == OP_WAIT:
+                if in_txn:
+                    raise TraceError(f"WAIT inside transaction at {where}")
+                cond = trace.waits.get(arg)
+                if cond is None:
+                    raise TraceError(
+                        f"WAIT({arg}) has no wait condition at {where}"
+                    )
+                if cond[1] <= 0:
+                    raise TraceError(
+                        f"WAIT({arg}) requires a positive signal count "
+                        f"at {where}"
+                    )
             else:
                 raise TraceError(f"unknown opcode {opcode} at {where}")
         if depth > 0:

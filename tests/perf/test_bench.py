@@ -56,15 +56,24 @@ def test_legacy_loop_matches_optimized_on_contended_trace():
 
 def test_bench_specs_quick_subset():
     specs = bench_specs(quick=True)
-    assert {s.workload.name for s in specs} == {"Cholesky", "Vacation-Low"}
+    assert {s.workload.name for s in specs} == \
+        {"Cholesky", "Vacation-Low", "mutex_ring"}
     assert {s.variant for s in specs} == {"TokenTM", "LogTM-SE_4xH3"}
+    # Trace cells run at their recorded size.
+    assert all(s.scale == 1.0 for s in specs
+               if s.workload.name == "mutex_ring")
+
+
+def test_bench_specs_traces_off():
+    specs = bench_specs(quick=True, traces=False)
+    assert {s.workload.name for s in specs} == {"Cholesky", "Vacation-Low"}
 
 
 def test_run_bench_writes_schema_documented_json(tmp_path):
     out = tmp_path / "BENCH_perf.json"
     payload = run_bench(
         out=str(out), quick=True, workload_names=("Cholesky",),
-        variants=("TokenTM",), scale_factor=0.5,
+        variants=("TokenTM",), scale_factor=0.5, traces=False,
         cache_dir=str(tmp_path / "cache"), micro=False, membench=False,
     )
     on_disk = json.loads(out.read_text())
@@ -84,7 +93,7 @@ def test_run_bench_writes_schema_documented_json(tmp_path):
     # Second run hits the cache: same stats content, no wall time.
     rerun = run_bench(
         out=str(out), quick=True, workload_names=("Cholesky",),
-        variants=("TokenTM",), scale_factor=0.5,
+        variants=("TokenTM",), scale_factor=0.5, traces=False,
         cache_dir=str(tmp_path / "cache"), micro=False, membench=False,
     )
     warm = rerun["grid"]["cells"][0]
@@ -112,9 +121,10 @@ def test_bench_specs_fast_path_changes_cache_key():
     """A --no-fastpath verification run must never be answered from a
     fast-path cache entry (and vice versa)."""
     fast, = bench_specs(quick=True, workload_names=("Cholesky",),
-                        variants=("TokenTM",))
+                        variants=("TokenTM",), traces=False)
     slow, = bench_specs(quick=True, workload_names=("Cholesky",),
-                        variants=("TokenTM",), fast_path=False)
+                        variants=("TokenTM",), fast_path=False,
+                        traces=False)
     assert fast.payload()["fast_path"] is True
     assert slow.payload()["fast_path"] is False
     assert cell_key(fast) != cell_key(slow)

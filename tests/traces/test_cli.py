@@ -1,0 +1,87 @@
+"""CLI tests for the trace verbs: convert, record, workloads, run."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.traces.workload import fixture_path
+from repro.workloads.persist import load_trace
+
+
+class TestConvert:
+    def test_convert_fixture(self, tmp_path, capsys):
+        out = tmp_path / "ring.trace"
+        rc = main(["convert", str(fixture_path("mutex_ring")),
+                   "-o", str(out), "--transactify"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "events: 240" in text and "ops: 384" in text
+        assert "events/sec" in text
+        trace = load_trace(out)
+        assert trace.transaction_count() == 48
+
+    def test_convert_default_output_name(self, tmp_path, capsys,
+                                         monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["convert", str(fixture_path("mutex_ring"))])
+        assert rc == 0
+        assert (tmp_path / "mutex_ring.trace").exists()
+
+
+class TestRecordAndReplay:
+    def test_record_then_run_cli_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "chol.strace.gz"
+        rc = main(["record", "Cholesky", "-o", str(out),
+                   "--seed", "0", "--scale", "0.005"])
+        assert rc == 0
+        assert "replay:" in capsys.readouterr().out
+        rc = main(["run", "TokenTM", "--trace-file", str(out),
+                   "--remap", "none", "--json"])
+        assert rc == 0
+        replayed = json.loads(capsys.readouterr().out)
+        rc = main(["run", "Cholesky", "TokenTM", "--seed", "0",
+                   "--scale", "0.005", "--json"])
+        assert rc == 0
+        direct = json.loads(capsys.readouterr().out)
+        assert replayed["makespan"] == direct["makespan"]
+        assert replayed["commits"] == direct["commits"]
+
+
+class TestRunTraceFile:
+    def test_run_replays_fixture(self, capsys):
+        rc = main(["run", "TokenTM",
+                   "--trace-file", str(fixture_path("prodcons")),
+                   "--json"])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["workload"] == "prodcons"
+        assert stats["commits"] == 18
+
+    def test_workload_and_trace_file_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["run", "Cholesky", "TokenTM",
+                  "--trace-file", str(fixture_path("prodcons"))])
+
+    def test_neither_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "TokenTM"])
+
+
+class TestWorkloadsListing:
+    def test_lists_all_kinds(self, capsys):
+        rc = main(["workloads", "--scale", "0.004"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        for expected in ("Cholesky", "synthetic", "Apache", "lock",
+                         "prodcons", "barrier_storm", "mutex_ring",
+                         "trace", "footprint"):
+            assert expected in text
+
+    def test_extra_trace_file_row(self, capsys):
+        rc = main(["workloads", "--scale", "0.004",
+                   "--trace-file", str(fixture_path("prodcons"))])
+        assert rc == 0
+        lines = [l for l in capsys.readouterr().out.splitlines()
+                 if l.startswith("prodcons")]
+        assert len(lines) == 2  # fixture row + explicit row

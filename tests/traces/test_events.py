@@ -1,0 +1,142 @@
+"""Event-file parser tests: formats, errors, gzip, shards, streaming."""
+
+import gzip
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.traces.events import (
+    CommEvent,
+    ComputeEvent,
+    DEFAULT_ACCESS_SIZE,
+    PTH_BARRIER,
+    PthreadEvent,
+    open_trace_file,
+    parse_events,
+    parse_lines,
+    trace_files,
+)
+
+
+def parse_one(line):
+    return next(parse_lines([line]))
+
+
+class TestLineFormats:
+    def test_compute_event(self):
+        ev = parse_one("3,1,10,2,2,1 # 0x100 0x200:8 # * 0x300")
+        assert ev == ComputeEvent(3, 1, 10, 2,
+                                  ((0x100, DEFAULT_ACCESS_SIZE),
+                                   (0x200, 8)),
+                                  ((0x300, DEFAULT_ACCESS_SIZE),))
+
+    def test_compute_without_accesses(self):
+        ev = parse_one("0,0,5,1,0,0")
+        assert ev.reads == () and ev.writes == ()
+
+    def test_write_only_group(self):
+        ev = parse_one("0,0,0,0,0,2 # * 64 128:16")
+        assert ev.writes == ((64, DEFAULT_ACCESS_SIZE), (128, 16))
+
+    def test_comm_event_multiple_groups(self):
+        ev = parse_one("7,2 # 0 11 0x40 # 1 9 0x80:8 0x90")
+        assert ev == CommEvent(7, 2, (
+            (0, 11, ((0x40, DEFAULT_ACCESS_SIZE),)),
+            (1, 9, ((0x80, 8), (0x90, DEFAULT_ACCESS_SIZE))),
+        ))
+
+    def test_pthread_event(self):
+        ev = parse_one("4,0,pth_ty:5^9")
+        assert ev == PthreadEvent(4, 0, PTH_BARRIER, 9)
+
+    def test_comments_and_blanks_skipped(self):
+        events = list(parse_lines([
+            "! a comment", "", "0,0,1,0,0,0", "  ", "1,0,pth_ty:8^5",
+        ]))
+        assert len(events) == 2
+
+
+class TestLineErrors:
+    @pytest.mark.parametrize("line", [
+        "nonsense",                     # malformed header
+        "0,0,1,0",                      # unrecognized shape
+        "0,0,pth_ty:99^1",              # unknown pthread type
+        "0,0,pth_ty:x^1",               # non-numeric pthread type
+        "0,0,1,0,2,0 # 0x40",           # declared 2 reads, listed 1
+        "0,0,1,0,0,1",                  # declared write, listed none
+        "0,0 ",                         # comm event without groups
+        "0,0 # 1",                      # comm group too short
+        "0,0,1,0,1,0 # zebra",          # malformed access token
+        "0,0,1,0,1,0 # 0x40:0",         # zero-size access
+        "-1,0,1,0,0,0",                 # negative eid
+        "0,0,-1,0,0,0",                 # negative iops
+    ])
+    def test_rejected(self, line):
+        with pytest.raises(TraceError):
+            parse_one(line)
+
+    def test_eid_must_increase_per_thread(self):
+        with pytest.raises(TraceError, match="not increasing"):
+            list(parse_lines(["1,0,1,0,0,0", "1,0,1,0,0,0"]))
+
+    def test_eids_independent_across_threads(self):
+        events = list(parse_lines([
+            "1,0,1,0,0,0", "1,1,1,0,0,0", "2,0,1,0,0,0",
+        ]))
+        assert len(events) == 3
+
+
+class TestFilesAndShards:
+    def test_gzip_sniffed_by_magic_not_name(self, tmp_path):
+        # Deliberately misleading name: gzip bytes in a .strace file.
+        path = tmp_path / "t.strace"
+        path.write_bytes(gzip.compress(b"0,0,1,0,0,0\n"))
+        with open_trace_file(path) as fh:
+            assert fh.read() == "0,0,1,0,0,0\n"
+        assert len(list(parse_events(path))) == 1
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="no such trace"):
+            trace_files(tmp_path / "absent.strace")
+
+    def test_empty_shard_dir_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="no \\*.strace"):
+            trace_files(tmp_path)
+
+    def test_shards_consumed_in_sorted_order(self, tmp_path):
+        (tmp_path / "b.strace").write_text("0,1,1,0,0,0\n")
+        (tmp_path / "a.strace").write_text("0,0,1,0,0,0\n")
+        (tmp_path / "ignored.txt").write_text("not a shard\n")
+        assert [p.name for p in trace_files(tmp_path)] == \
+            ["a.strace", "b.strace"]
+        assert [e.tid for e in parse_events(tmp_path)] == [0, 1]
+
+    def test_eid_monotonicity_enforced_across_shards(self, tmp_path):
+        (tmp_path / "a.strace").write_text("5,0,1,0,0,0\n")
+        (tmp_path / "b.strace").write_text("5,0,1,0,0,0\n")
+        with pytest.raises(TraceError, match="across shards"):
+            list(parse_events(tmp_path))
+
+
+class TestStreaming:
+    def test_parser_consumes_lines_lazily(self):
+        """Bounded memory: the parser never reads ahead of demand."""
+        consumed = 0
+
+        def lines():
+            nonlocal consumed
+            for i in range(10_000_000):  # never materialized
+                consumed += 1
+                yield f"{i},0,1,0,0,0\n"
+
+        events = parse_lines(lines())
+        for _ in range(10):
+            next(events)
+        assert consumed <= 11
+
+    def test_parse_events_is_a_generator(self, tmp_path):
+        path = tmp_path / "t.strace"
+        path.write_text("".join(f"{i},0,1,0,0,0\n" for i in range(100)))
+        stream = parse_events(path)
+        assert next(stream).eid == 0  # no full materialization needed
+        stream.close()

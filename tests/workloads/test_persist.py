@@ -1,10 +1,17 @@
 """Trace save/load round-trip tests."""
 
+import gzip
+
 import pytest
 
 from repro.common.errors import TraceError
 from repro.workloads import barnes
-from repro.workloads.persist import MAGIC, load_trace, save_trace
+from repro.workloads.persist import (
+    MAGIC,
+    MAGIC_V2,
+    load_trace,
+    save_trace,
+)
 from repro.workloads.trace import (
     ThreadTrace,
     WorkloadTrace,
@@ -12,6 +19,8 @@ from repro.workloads.trace import (
     commit,
     compute,
     read,
+    signal,
+    wait,
 )
 
 
@@ -82,3 +91,55 @@ class TestFormat:
             load_trace(path)
         trace = load_trace(path, validate=False)
         assert len(trace.threads[0].ops) == 1
+
+
+class TestGzip:
+    def test_gz_suffix_compresses(self, tmp_path):
+        original = barnes().generate(seed=3, scale=0.01)
+        path = tmp_path / "barnes.trace.gz"
+        save_trace(original, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        loaded = load_trace(path)
+        assert [t.ops for t in loaded.threads] == \
+            [t.ops for t in original.threads]
+
+    def test_gzip_sniffed_on_load_regardless_of_name(self, tmp_path):
+        # Loading keys on magic bytes, not the file name.
+        trace = WorkloadTrace("x", [ThreadTrace(0, [compute(1)])])
+        plain = tmp_path / "a.trace"
+        save_trace(trace, plain)
+        disguised = tmp_path / "b.trace"  # gzip bytes, plain name
+        disguised.write_bytes(gzip.compress(plain.read_bytes()))
+        assert load_trace(disguised).threads[0].ops == [compute(1)]
+
+    def test_gzip_output_is_byte_stable(self, tmp_path):
+        # Pinned mtime: identical traces produce identical bytes, so
+        # committed .gz fixtures do not churn on regeneration.
+        trace = barnes().generate(seed=3, scale=0.01)
+        a, b = tmp_path / "a.trace.gz", tmp_path / "b.trace.gz"
+        save_trace(trace, a)
+        save_trace(trace, b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestWaitConditions:
+    def waity_trace(self):
+        return WorkloadTrace("w", [
+            ThreadTrace(0, [compute(5), signal(0)]),
+            ThreadTrace(1, [wait(0), compute(1)]),
+        ], waits={0: (0, 1)})
+
+    def test_waits_round_trip_as_v2(self, tmp_path):
+        path = tmp_path / "w.trace"
+        save_trace(self.waity_trace(), path)
+        assert path.read_text().splitlines()[0] == MAGIC_V2
+        loaded = load_trace(path)
+        assert loaded.waits == {0: (0, 1)}
+        assert [t.ops for t in loaded.threads] == \
+            [t.ops for t in self.waity_trace().threads]
+
+    def test_waitless_traces_stay_v1(self, tmp_path):
+        path = tmp_path / "plain.trace"
+        save_trace(WorkloadTrace("x", [ThreadTrace(0, [compute(1)])]),
+                   path)
+        assert path.read_text().splitlines()[0] == MAGIC

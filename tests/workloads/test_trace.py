@@ -12,9 +12,11 @@ from repro.workloads.trace import (
     lock,
     nt_read,
     read,
+    signal,
     static_set_sizes,
     unlock,
     validate_trace,
+    wait,
     write,
 )
 
@@ -67,6 +69,36 @@ class TestValidate:
         with pytest.raises(TraceError):
             validate_trace(trace_of([lock(1), lock(2),
                                      unlock(1), unlock(2)]))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(TraceError, match="unknown opcode"):
+            validate_trace(trace_of([(99, 0)]))
+
+    def test_signal_inside_transaction_rejected(self):
+        # An aborted region would replay its signals.
+        with pytest.raises(TraceError, match="SIGNAL inside"):
+            validate_trace(trace_of([begin(), signal(0), commit()]))
+
+    def test_wait_inside_transaction_rejected(self):
+        trace = trace_of([begin(), wait(0), commit()])
+        trace.waits[0] = (0, 1)
+        with pytest.raises(TraceError, match="WAIT inside"):
+            validate_trace(trace)
+
+    def test_wait_without_condition_rejected(self):
+        with pytest.raises(TraceError, match="no wait condition"):
+            validate_trace(trace_of([wait(0)]))
+
+    def test_wait_needs_positive_count(self):
+        trace = trace_of([wait(0)])
+        trace.waits[0] = (0, 0)
+        with pytest.raises(TraceError, match="positive signal count"):
+            validate_trace(trace)
+
+    def test_signal_wait_outside_transaction_passes(self):
+        trace = trace_of([signal(0), wait(0)])
+        trace.waits[0] = (0, 1)
+        validate_trace(trace)
 
 
 class TestCounts:
