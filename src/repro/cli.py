@@ -30,7 +30,10 @@ Commands map one-to-one onto the paper's experiments:
 * ``variants`` — list the available HTM variants.
 
 Every command takes ``--seed`` and (where it applies) ``--scale`` so
-results are reproducible and sized to taste.  The grid commands
+results are reproducible and sized to taste.  The simulating commands
+(``run``/``figure1``/``figure5``/``bench``/``chaos``) take
+``--kernel {interp,batch}`` to pick the hot-loop backend (results are
+byte-identical; see docs/performance.md, "Kernel backends").  The grid commands
 (``figure1``/``figure5``/``bench``) take ``--workers`` to fan cells
 out over processes, ``--cache-dir`` to reuse finished cells across
 invocations, and the supervision flags
@@ -171,7 +174,7 @@ def cmd_run(args) -> int:
         monitor = InvariantMonitor()
     cell = run_cell(workload, args.variant, scale=scale, seed=args.seed,
                     bus=bus, fast_path=not args.no_fastpath,
-                    faults=faults, monitor=monitor)
+                    faults=faults, monitor=monitor, kernel=args.kernel)
     if bus is not None:
         _finish_trace(bus, jsonl, chrome, args)
     snapshot = cell.stats.snapshot()
@@ -432,6 +435,7 @@ def _figure(args, variants, title: str) -> int:
                 wl, variants=variants, scale=scale, runs=args.runs,
                 seed=args.seed, runner=runner,
                 fast_path=not args.no_fastpath,
+                kernel=args.kernel,
             ))
     except IncompleteGridError as exc:
         _print_incomplete(exc)
@@ -479,8 +483,10 @@ def cmd_bench(args) -> int:
             compare_serial=args.compare_serial, micro=not args.no_micro,
             micro_rounds=args.micro_rounds,
             membench=not args.no_membench,
+            kernelbench=not args.no_kernelbench,
             fast_path=not args.no_fastpath,
             traces=not args.no_traces,
+            kernel=args.kernel,
             supervisor=_supervisor_from_args(args),
         )
     except IncompleteGridError as exc:
@@ -497,9 +503,16 @@ def cmd_bench(args) -> int:
               "(details in the report above)", file=sys.stderr)
         rc = 1
     if args.baseline:
-        from repro.perf.bench import check_regression, load_bench
+        from repro.perf.bench import (
+            baseline_warnings,
+            check_regression,
+            load_bench,
+        )
 
-        failures = check_regression(payload, load_bench(args.baseline),
+        baseline = load_bench(args.baseline)
+        for warning in baseline_warnings(payload, baseline):
+            print(f"warning: {warning}", file=sys.stderr)
+        failures = check_regression(payload, baseline,
                                     tolerance=args.regression_tolerance)
         if failures:
             for failure in failures:
@@ -575,7 +588,7 @@ def cmd_chaos(args) -> int:
                 shrink=not args.no_shrink, out_dir=args.out_dir,
                 progress=None if args.json else progress,
                 journal=journal, max_cells=args.max_cells,
-                trace_file=args.trace_file,
+                trace_file=args.trace_file, kernel=args.kernel,
             )
     finally:
         if journal is not None:
@@ -623,6 +636,16 @@ def _add_trace_file_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-transactify", action="store_true",
                    help="keep mutex sections as locks instead of "
                         "turning them into transactions")
+
+
+def _add_kernel_flag(p: argparse.ArgumentParser) -> None:
+    """``--kernel`` backend selector shared by the simulating commands."""
+    from repro.kernels import KERNEL_NAMES
+
+    p.add_argument("--kernel", choices=KERNEL_NAMES, default=None,
+                   help="hot-loop backend (default: $REPRO_KERNEL, "
+                        "then interp); results are byte-identical — "
+                        "this is purely a speed knob")
 
 
 def _add_supervision_flags(p: argparse.ArgumentParser) -> None:
@@ -677,6 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--monitor", action="store_true",
                        help="run the invariant monitor at quantum "
                             "boundaries; exit 1 on any violation")
+    _add_kernel_flag(run_p)
     run_p.set_defaults(func=cmd_run)
 
     chaos_p = sub.add_parser(
@@ -724,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "trace (transactified) instead of "
                               "--workload")
     chaos_p.add_argument("--json", action="store_true")
+    _add_kernel_flag(chaos_p)
     chaos_p.set_defaults(func=cmd_chaos)
 
     convert_p = sub.add_parser(
@@ -817,6 +842,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-fastpath", action="store_true",
                        help="disable the memory-system access filters "
                             "(results are identical; for verification)")
+        _add_kernel_flag(p)
         _add_supervision_flags(p)
         p.set_defaults(func=func)
 
@@ -844,6 +870,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--micro-rounds", type=int, default=3)
     bench_p.add_argument("--no-membench", action="store_true",
                          help="skip the memory-stack microbenchmark")
+    bench_p.add_argument("--no-kernelbench", action="store_true",
+                         help="skip the kernel-backend microbenchmark")
     bench_p.add_argument("--no-fastpath", action="store_true",
                          help="run the grid with the access filters "
                               "disabled (results are identical)")
@@ -855,6 +883,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--regression-tolerance", type=float, default=0.3,
                          help="allowed fractional speedup drop vs the "
                               "baseline (default 0.3)")
+    _add_kernel_flag(bench_p)
     _add_supervision_flags(bench_p)
     bench_p.set_defaults(func=cmd_bench)
 

@@ -199,7 +199,8 @@ def run_chaos_cell(workload: str = DEFAULT_WORKLOAD,
                    skew_tolerance: Optional[int] = None,
                    mutant: Optional[str] = None,
                    registry=None,
-                   trace_file: Optional[str] = None) -> ChaosCell:
+                   trace_file: Optional[str] = None,
+                   kernel: Optional[str] = None) -> ChaosCell:
     """One chaos run: fresh machine, injected plan, halting monitor.
 
     Deterministic in every input: the same ``(seed, plan)`` replays
@@ -243,7 +244,8 @@ def run_chaos_cell(workload: str = DEFAULT_WORKLOAD,
                                skew_tolerance=skew_tolerance,
                                halt=True, registry=registry, bus=bus)
     executor = Executor(machine, trace,
-                        RunConfig(system=sys_cfg, htm=htm_cfg, seed=seed),
+                        RunConfig(system=sys_cfg, htm=htm_cfg, seed=seed,
+                                  kernel=kernel),
                         quantum=quantum, validate=False,
                         track_history=True, bus=bus,
                         injector=injector, monitor=monitor)
@@ -321,6 +323,7 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
                  journal=None,
                  max_cells: Optional[int] = None,
                  trace_file: Optional[str] = None,
+                 kernel: Optional[str] = None,
                  ) -> CampaignResult:
     """Sweep ``seeds`` x ``variants`` under one fault plan.
 
@@ -335,6 +338,11 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
     invocation simulates — the campaign stops there with
     ``interrupted=True`` (useful for sharding a long campaign across
     invocations, and for deterministic interruption tests).
+
+    ``kernel`` picks the hot-loop backend for every cell.  Backends
+    are byte-identical, so journal keys deliberately ignore it: a
+    campaign interrupted under one kernel can resume under another
+    and the merged cells still agree.
     """
     plan = plan if plan is not None else default_plan()
     digest = None
@@ -375,13 +383,14 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
                 workload=workload, variant=variant, seed=seed, plan=plan,
                 scale=scale, quantum=quantum, cadence=cadence,
                 skew_tolerance=skew_tolerance, mutant=mutant,
-                trace_file=trace_file,
+                trace_file=trace_file, kernel=kernel,
             )
             if not cell.ok and shrink:
                 cell = _shrink_failure(cell, plan, workload, variant,
                                        seed, scale, quantum, cadence,
                                        skew_tolerance, mutant,
-                                       trace_file=trace_file)
+                                       trace_file=trace_file,
+                                       kernel=kernel)
             result.cells.append(cell)
             bundle_path = None
             if (not cell.ok and out_dir is not None
@@ -407,7 +416,8 @@ def _shrink_failure(cell: ChaosCell, plan: FaultPlan, workload: str,
                     variant: str, seed: int, scale: float, quantum: int,
                     cadence: int, skew_tolerance: Optional[int],
                     mutant: Optional[str],
-                    trace_file: Optional[str] = None) -> ChaosCell:
+                    trace_file: Optional[str] = None,
+                    kernel: Optional[str] = None) -> ChaosCell:
     """Replace a failing cell with one reproduced on a minimal plan."""
 
     def still_fails(candidate: FaultPlan) -> bool:
@@ -415,7 +425,7 @@ def _shrink_failure(cell: ChaosCell, plan: FaultPlan, workload: str,
             workload=workload, variant=variant, seed=seed, plan=candidate,
             scale=scale, quantum=quantum, cadence=cadence,
             skew_tolerance=skew_tolerance, mutant=mutant,
-            trace_file=trace_file,
+            trace_file=trace_file, kernel=kernel,
         ).ok
 
     minimal = shrink_plan(plan, still_fails)
@@ -425,7 +435,7 @@ def _shrink_failure(cell: ChaosCell, plan: FaultPlan, workload: str,
         workload=workload, variant=variant, seed=seed, plan=minimal,
         scale=scale, quantum=quantum, cadence=cadence,
         skew_tolerance=skew_tolerance, mutant=mutant,
-        trace_file=trace_file,
+        trace_file=trace_file, kernel=kernel,
     )
     # Shrinking must preserve the failure; fall back to the original
     # cell if a flaky interaction made the minimal plan pass.

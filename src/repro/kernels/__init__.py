@@ -1,0 +1,77 @@
+"""Pluggable simulation kernels (the executor's hot-loop backends).
+
+``interp`` is the reference dispatch loop; ``batch`` retires COMPUTE
+and granted-memory runs in bulk over precomputed columns.  Both are
+byte-identical by contract (see :mod:`repro.kernels.base`).
+
+Selection precedence, resolved by :func:`resolve_kernel_name`:
+
+1. an explicit name (``Executor(kernel=...)``, ``--kernel``,
+   ``RunConfig.kernel``, ``CellSpec.kernel``);
+2. the ``REPRO_KERNEL`` environment variable;
+3. the default, ``interp``.
+
+The randomized cross-kernel differential harness lives in
+:mod:`repro.kernels.differential`; it is deliberately not re-exported
+here because it imports the experiment layer (import it directly).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.kernels.base import SimulationKernel
+from repro.kernels.batch import BatchKernel
+from repro.kernels.interp import InterpKernel
+
+#: Name -> class registry; ``--kernel`` choices come from here.
+KERNELS = {
+    InterpKernel.name: InterpKernel,
+    BatchKernel.name: BatchKernel,
+}
+
+#: Stable CLI/choices ordering (reference kernel first).
+KERNEL_NAMES = ("interp", "batch")
+
+DEFAULT_KERNEL = "interp"
+
+#: Environment override consulted when no explicit name is given.
+ENV_KERNEL = "REPRO_KERNEL"
+
+
+def resolve_kernel_name(name: Optional[str] = None) -> str:
+    """Resolve ``name`` -> a concrete registry key.
+
+    ``None`` falls back to ``$REPRO_KERNEL`` and then to
+    :data:`DEFAULT_KERNEL`; unknown names raise
+    :class:`~repro.common.errors.ConfigError` listing the registry.
+    """
+    if name is None:
+        name = os.environ.get(ENV_KERNEL) or DEFAULT_KERNEL
+    if name not in KERNELS:
+        raise ConfigError(
+            f"unknown simulation kernel {name!r}; "
+            f"available: {', '.join(KERNEL_NAMES)}"
+        )
+    return name
+
+
+def make_kernel(name: Optional[str] = None) -> SimulationKernel:
+    """Instantiate the kernel selected by ``name`` (see
+    :func:`resolve_kernel_name` for the fallback chain)."""
+    return KERNELS[resolve_kernel_name(name)]()
+
+
+__all__ = [
+    "SimulationKernel",
+    "InterpKernel",
+    "BatchKernel",
+    "KERNELS",
+    "KERNEL_NAMES",
+    "DEFAULT_KERNEL",
+    "ENV_KERNEL",
+    "resolve_kernel_name",
+    "make_kernel",
+]

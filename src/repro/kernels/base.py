@@ -1,0 +1,59 @@
+"""The SimulationKernel seam: pluggable executor hot loops.
+
+The :class:`~repro.runtime.executor.Executor` owns all simulation
+*policy* (contention management, abort/retry, statistics); a
+**kernel** owns only the innermost *mechanism* — how one thread's ops
+are driven through the dispatch table for one scheduler quantum.
+Extracting that loop behind :class:`SimulationKernel` lets backends
+trade implementation strategy (straight interpretation, batched
+array advancement, eventually a compiled loop) while the simulated
+behaviour stays byte-identical:
+
+* every kernel runs the same handlers with the same ``thread.clock``
+  / ``thread.pc`` / ``bus.now`` values in the same order;
+* kernels keep their own telemetry (:meth:`snapshot`) strictly
+  outside :class:`~repro.runtime.stats.RunStats`, like
+  :class:`~repro.coherence.protocol.FastPathStats`, so untraced runs
+  compare equal across backends;
+* the lockstep suite in ``tests/kernels/`` and the ``kernelbench``
+  section of ``repro bench`` enforce the contract.
+
+See docs/performance.md ("Kernel backends") for the selection rules
+and how to add a backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class SimulationKernel:
+    """One backend for the executor's per-quantum inner loop."""
+
+    #: Registry name (``--kernel`` value); subclasses override.
+    name = "abstract"
+
+    def attach(self, executor) -> None:
+        """Bind to an executor: hoist loop invariants, build columns.
+
+        Called once from ``Executor.__init__`` after the dispatch
+        table and thread list exist.  Kernels must not mutate any
+        executor state here — attachment is pure preparation.
+        """
+        self._executor = executor
+
+    def run_quantum(self, thread) -> None:
+        """Advance ``thread`` by at most one scheduler quantum.
+
+        Must be behaviourally identical to the reference
+        :class:`~repro.kernels.interp.InterpKernel`: same handler
+        invocations, same clock/pc synchronization, same ``bus.now``
+        stamps, same early returns on block/done.
+        """
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, int]:
+        """Kernel telemetry (how the simulator computed, not what the
+        simulated machine did).  Published as ``kernels.*`` metrics;
+        never folded into RunStats."""
+        return {}

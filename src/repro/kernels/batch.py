@@ -1,0 +1,202 @@
+"""Batched kernel: array-built columns + run-length advancement.
+
+Same policy, different mechanism.  At attach time the kernel lowers
+every thread's op list into three columns (numpy when installed,
+plain lists otherwise — :mod:`repro.common.vector`):
+
+``prefix``       cumulative COMPUTE cycles, length ``n + 1``;
+``compute_end``  first non-COMPUTE index at or after ``i``;
+``mem_end``      first non-READ/WRITE index at or after ``i``.
+
+At run time the two opcode families that dominate real traces retire
+in bulk:
+
+* a maximal COMPUTE run advances with **one** ``bisect_left`` over
+  the prefix column — O(log run) per quantum instead of one
+  interpreter iteration per op — landing on exactly the (clock, pc)
+  the reference kernel reaches op by op;
+* a maximal run of *granted* transactional READ/WRITE ops retires in
+  an inner loop that skips the outer doom/done/bounds re-checks: a
+  granted access cannot doom its own thread, finish the trace, or
+  block, so the checks are provably no-ops (a stall or abort is
+  detected by the pc not advancing and falls back to the outer loop).
+
+Everything else (BEGIN/COMMIT, non-transactional accesses, locks,
+signal/wait, SYSCALL) takes the reference per-op path verbatim, with
+the same ``thread.clock``/``thread.pc``/``bus.now`` synchronization.
+The lockstep suite and ``repro bench``'s kernelbench section assert
+byte-identical RunStats/ProtocolStats/event streams against
+:class:`~repro.kernels.interp.InterpKernel`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Tuple
+
+from repro.common.vector import HAVE_NUMPY, compute_prefix, run_ends
+from repro.kernels.base import SimulationKernel
+from repro.obs.events import AbortCause
+from repro.workloads.trace import OP_COMPUTE, OP_READ, OP_WRITE
+
+
+class BatchKernel(SimulationKernel):
+    """Vectorized column build + batched COMPUTE/memory-run retire."""
+
+    name = "batch"
+
+    def attach(self, executor) -> None:
+        super().attach(executor)
+        self._quantum = executor.quantum
+        self._bus = executor._bus
+        self._dispatch = executor._dispatch
+        self._abort = executor._abort
+        #: tid -> (prefix, compute_end, mem_end) columns.
+        self._columns: Dict[int, Tuple[List[int], List[int], List[int]]] \
+            = {}
+        for thread in executor._threads:
+            ops = thread.ops
+            opcodes = [op for op, _ in ops]
+            args = [arg for _, arg in ops]
+            self._columns[thread.tid] = (
+                compute_prefix(opcodes, args, OP_COMPUTE),
+                run_ends(opcodes, (OP_COMPUTE,)),
+                run_ends(opcodes, (OP_READ, OP_WRITE)),
+            )
+        # Telemetry (kernels.batch.*): strictly outside RunStats.
+        self._numpy = 1 if HAVE_NUMPY else 0
+        self._quanta = 0
+        self._compute_batches = 0
+        self._compute_ops = 0
+        self._max_batch = 0
+        self._mem_runs = 0
+        self._mem_ops = 0
+        self._mem_flushes = 0
+
+    def run_quantum(self, thread) -> None:
+        self._quanta += 1
+        deadline = thread.clock + self._quantum
+        ops = thread.ops
+        nops = len(ops)
+        op_compute = OP_COMPUTE
+        op_read = OP_READ
+        op_write = OP_WRITE
+        prefix, compute_end, mem_end = self._columns[thread.tid]
+        bisect = bisect_left
+        clock = thread.clock
+        pc = thread.pc
+        # The dispatch machinery loads lazily: a pure-COMPUTE quantum
+        # (the dominant case on compute-heavy traces) never touches
+        # the bus or the table, so it skips those attribute loads.
+        dispatch = None
+        bus = bus_enabled = None
+        while clock < deadline:
+            if thread.in_txn and thread.doomed_epoch == thread.txn_epoch:
+                thread.clock = clock
+                thread.pc = pc
+                if self._bus.enabled:
+                    self._bus.now = clock
+                self._abort(thread, AbortCause.CM_KILL)
+                clock = thread.clock
+                pc = thread.pc
+                continue
+            if pc >= nops:
+                thread.clock = clock
+                thread.pc = pc
+                thread.done = True
+                return
+            opcode, arg = ops[pc]
+            if opcode == op_compute:
+                # Whole-run advancement: op i of the run is consumed
+                # iff its starting clock is below the deadline, i.e.
+                # prefix[i] < deadline - clock + prefix[pc]; the first
+                # violating index is one bisect away.  prefix[pc] is
+                # always below the target (clock < deadline here), so
+                # progress is guaranteed.
+                end = compute_end[pc]
+                stop = bisect(prefix, deadline - clock + prefix[pc],
+                              pc, end)
+                clock += prefix[stop] - prefix[pc]
+                width = stop - pc
+                pc = stop
+                self._compute_batches += 1
+                self._compute_ops += width
+                if width > self._max_batch:
+                    self._max_batch = width
+                continue
+            if dispatch is None:
+                dispatch = self._dispatch
+                bus = self._bus
+                bus_enabled = bus.enabled
+            if opcode == op_read or opcode == op_write:
+                # Retire the run of granted transactional accesses
+                # without re-running the outer doom/done/bounds
+                # checks: a granted access cannot doom this thread,
+                # set done, or block.  A stall keeps pc and an abort
+                # rewinds it, so "pc advanced by exactly one" is the
+                # grant test.
+                end = mem_end[pc]
+                start = pc
+                while True:
+                    thread.clock = clock
+                    thread.pc = pc
+                    if bus_enabled:
+                        bus.now = clock
+                    dispatch[opcode](thread, arg)
+                    if thread.pc != pc + 1:
+                        clock = thread.clock
+                        pc = thread.pc
+                        self._mem_flushes += 1
+                        break
+                    clock = thread.clock
+                    pc = thread.pc
+                    if pc >= end or clock >= deadline:
+                        break
+                    opcode, arg = ops[pc]
+                self._mem_runs += 1
+                if pc > start:
+                    self._mem_ops += pc - start
+                continue
+            thread.clock = clock
+            thread.pc = pc
+            if bus_enabled:
+                bus.now = clock
+            if dispatch[opcode](thread, arg) is False:
+                return  # blocked on a lock; re-queued with a later clock
+            clock = thread.clock
+            pc = thread.pc
+            if thread.done:
+                return
+        thread.clock = clock
+        thread.pc = pc
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "numpy": self._numpy,
+            "quanta": self._quanta,
+            "compute_batches": self._compute_batches,
+            "compute_ops_vectorized": self._compute_ops,
+            "compute_max_batch": self._max_batch,
+            "mem_runs": self._mem_runs,
+            "mem_ops_batched": self._mem_ops,
+            "mem_run_flushes": self._mem_flushes,
+            "columns_built": len(self._columns),
+        }
+
+    def probe_footprint(self) -> Dict[str, int]:
+        """Gather the L1 hit filter over every thread's static block
+        footprint (side-effect-free; a post-run diagnostic consumed by
+        kernelbench and the differential harness, never by the
+        simulation itself)."""
+        executor = self._executor
+        mem = executor.htm.mem
+        probes = hits = 0
+        for thread in executor._threads:
+            blocks = sorted({arg for op, arg in thread.ops
+                             if op == OP_READ or op == OP_WRITE})
+            results = mem.fast_probe_many(thread.core, blocks)
+            probes += len(results)
+            hits += sum(results)
+        return {"filter_probes": probes, "filter_hits": hits}

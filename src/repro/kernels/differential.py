@@ -1,0 +1,149 @@
+"""Randomized cross-kernel differential harness.
+
+Draws random cells — workload, HTM variant, scale, seed, thread
+count, fast path on/off, optional fault plan — and executes each cell
+once per kernel, asserting byte-identical :class:`RunStats` /
+``ProtocolStats`` snapshots and identical event streams.  This is the
+fuzzing complement to the hand-picked lockstep matrix in
+``tests/kernels/``: the matrix proves the documented configurations
+agree, the differential harness hunts for configurations nobody
+thought to write down.
+
+This module imports the experiment layer, so it is intentionally
+*not* re-exported from :mod:`repro.kernels` — import it directly::
+
+    from repro.kernels.differential import run_differential
+    report = run_differential(trials=25, seed=7)
+    assert not report["mismatches"], report
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import run_cell
+from repro.faults.plan import default_plan
+from repro.kernels import KERNEL_NAMES
+from repro.obs.events import EventBus
+from repro.obs.sinks import RingBufferSink
+from repro.workloads import tm_workloads
+
+#: One variant per HTM family; the lockstep matrix covers the rest.
+DIFFERENTIAL_VARIANTS = ("TokenTM", "LogTM-SE_4xH3", "OneTM")
+
+#: Kept small: each trial runs every kernel on a fresh machine.
+DIFFERENTIAL_SCALES = (0.002, 0.005, 0.01)
+
+#: Event-stream window per run; identical capacity on every kernel so
+#: even the drop accounting must agree.
+EVENT_CAPACITY = 50_000
+
+
+def _draw_cell(rng: random.Random,
+               workload_names: Sequence[str]) -> Dict[str, Any]:
+    """One random cell description (JSON-safe, for mismatch reports)."""
+    return {
+        "workload": rng.choice(list(workload_names)),
+        "variant": rng.choice(DIFFERENTIAL_VARIANTS),
+        "scale": rng.choice(DIFFERENTIAL_SCALES),
+        "seed": rng.randrange(1 << 16),
+        "fast_path": rng.random() < 0.5,
+        "faults": rng.random() < 0.35,
+        "traced": rng.random() < 0.5,
+    }
+
+
+def _run_one(cell: Dict[str, Any], kernel: str) -> Dict[str, Any]:
+    """Execute ``cell`` under ``kernel``; return comparable artifacts."""
+    workloads = tm_workloads()
+    bus: Optional[EventBus] = None
+    sink: Optional[RingBufferSink] = None
+    if cell["traced"]:
+        bus = EventBus()
+        sink = RingBufferSink(EVENT_CAPACITY)
+        bus.attach(sink)
+    faults = default_plan() if cell["faults"] else None
+    result = run_cell(
+        workloads[cell["workload"]], cell["variant"],
+        scale=cell["scale"], seed=cell["seed"], bus=bus,
+        fast_path=cell["fast_path"], faults=faults, kernel=kernel,
+    )
+    if bus is not None:
+        bus.close()
+    events: List[Dict[str, Any]] = []
+    dropped = 0
+    if sink is not None:
+        events = [e.to_dict() for e in sink.events]
+        dropped = sink.dropped
+    return {
+        "stats": result.stats.snapshot(),
+        "events": events,
+        "dropped": dropped,
+    }
+
+
+def run_differential(trials: int = 20, seed: int = 2008,
+                     kernels: Sequence[str] = KERNEL_NAMES,
+                     workload_names: Optional[Sequence[str]] = None,
+                     ) -> Dict[str, Any]:
+    """Fuzz ``trials`` random cells across ``kernels``.
+
+    Returns a report with every drawn cell and a ``mismatches`` list
+    (empty on success) naming the cell, the disagreeing kernel, and
+    which artifact diverged first (stats, event stream, or drop
+    count).  Deterministic for a given ``seed``.
+    """
+    rng = random.Random(seed)
+    if workload_names is None:
+        workload_names = tuple(sorted(tm_workloads()))
+    kernels = list(kernels)
+    reference = kernels[0]
+    cells: List[Dict[str, Any]] = []
+    mismatches: List[Dict[str, Any]] = []
+    for trial in range(trials):
+        cell = _draw_cell(rng, workload_names)
+        cells.append(cell)
+        baseline = _run_one(cell, reference)
+        for kernel in kernels[1:]:
+            candidate = _run_one(cell, kernel)
+            divergence = _first_divergence(baseline, candidate)
+            if divergence is not None:
+                mismatches.append({
+                    "trial": trial,
+                    "cell": cell,
+                    "kernel": kernel,
+                    "reference": reference,
+                    "divergence": divergence,
+                })
+    return {
+        "trials": trials,
+        "seed": seed,
+        "kernels": kernels,
+        "cells": cells,
+        "mismatches": mismatches,
+    }
+
+
+def _first_divergence(baseline: Dict[str, Any],
+                      candidate: Dict[str, Any]) -> Optional[str]:
+    """Name the first artifact on which the two runs disagree."""
+    if baseline["stats"] != candidate["stats"]:
+        keys = sorted(set(baseline["stats"]) | set(candidate["stats"]))
+        for key in keys:
+            if baseline["stats"].get(key) != candidate["stats"].get(key):
+                return (f"stats[{key!r}]: "
+                        f"{baseline['stats'].get(key)!r} != "
+                        f"{candidate['stats'].get(key)!r}")
+        return "stats: key sets differ"
+    if baseline["dropped"] != candidate["dropped"]:
+        return (f"event drop count: {baseline['dropped']} != "
+                f"{candidate['dropped']}")
+    if baseline["events"] != candidate["events"]:
+        for i, (a, b) in enumerate(zip(baseline["events"],
+                                       candidate["events"])):
+            if a != b:
+                return f"event[{i}]: {a!r} != {b!r}"
+        return (f"event stream length: {len(baseline['events'])} != "
+                f"{len(candidate['events'])}")
+    return None

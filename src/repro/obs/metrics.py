@@ -238,3 +238,41 @@ def publish_fastpath(snapshot: Dict[str, int],
     for name, value in sorted(snapshot.items()):
         reg.counter(f"{prefix}.{name}").inc(int(value))
     return reg
+
+
+#: Canonical ``kernels.*`` counters published for the batch backend.
+#: Pre-registered at zero by :func:`publish_kernels` so an interp-only
+#: (or numpy-less) run's metrics snapshot has the same key set — and
+#: untraced runs stay byte-identical across backends.  In particular
+#: ``kernels.batch.numpy`` stays 0 when the pure-Python fallback ran.
+KERNEL_COUNTERS: Tuple[str, ...] = (
+    "kernels.batch.numpy",
+    "kernels.batch.quanta",
+    "kernels.batch.compute_batches",
+    "kernels.batch.compute_ops_vectorized",
+    "kernels.batch.compute_max_batch",
+    "kernels.batch.mem_runs",
+    "kernels.batch.mem_ops_batched",
+    "kernels.batch.mem_run_flushes",
+    "kernels.batch.columns_built",
+)
+
+
+def publish_kernels(kernel: str, snapshot: Dict[str, int],
+                    registry: Optional[MetricsRegistry] = None,
+                    prefix: str = "kernels") -> MetricsRegistry:
+    """Expose a kernel's telemetry snapshot as ``kernels.<name>.*``.
+
+    Like the fast-path counters, kernel telemetry describes how the
+    simulator computed, not what the simulated machine did — it lives
+    outside ``RunStats`` and reaches the observability namespace here.
+    The canonical :data:`KERNEL_COUNTERS` are pre-registered at zero
+    first, so dashboards can tell "interp ran" (all zeros) apart from
+    "not instrumented" (keys absent).
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    for name in KERNEL_COUNTERS:
+        reg.counter(name)
+    for name, value in sorted(snapshot.items()):
+        reg.counter(f"{prefix}.{kernel}.{name}").inc(int(value))
+    return reg

@@ -18,9 +18,14 @@ Measures two things and writes both to ``BENCH_perf.json``:
   injector/monitor defaults) vs. the frozen pre-faults scheduling
   loop (:class:`repro.perf.legacy.PreFaultsExecutor`), proving the
   disabled faults subsystem is zero-cost (CI asserts the overhead
-  stays under 2%).
+  stays under 2%);
+* **kernel microbenchmark** — the batched hot-loop backend
+  (:class:`repro.kernels.batch.BatchKernel`) vs. the reference
+  interpreter (:class:`repro.kernels.interp.InterpKernel`) on one
+  compute-heavy large-transaction trace, with an
+  identical-statistics cross-check (CI asserts ``speedup`` >= 3).
 
-Schema of ``BENCH_perf.json`` (``repro-bench-perf/5``, documented in
+Schema of ``BENCH_perf.json`` (``repro-bench-perf/6``, documented in
 ``docs/performance.md``):
 
 ``schema``        schema identifier string;
@@ -40,12 +45,18 @@ Schema of ``BENCH_perf.json`` (``repro-bench-perf/5``, documented in
 ``faultbench``    trace_ops, rounds, prefaults/null ops-per-sec,
                   ``overhead`` (null wall / pre-faults wall) and an
                   identical-statistics cross-check;
+``kernelbench``   trace_ops, rounds, quantum, interp/batch
+                  ops-per-sec, ``speedup`` (median of paired
+                  per-round ratios), ``numpy`` availability, the
+                  batch backend's telemetry snapshot (``kernel``)
+                  and an identical-statistics cross-check;
 ``parallel``      optional serial-vs-parallel wall comparison
                   (``--compare-serial``) with a ``byte_identical``
                   stats check;
 ``metrics``       the runner's metrics-registry snapshot (cache
                   hits/misses, cells simulated, workers) merged with
-                  the membench's ``perf.fastpath.*`` counters.
+                  the membench's ``perf.fastpath.*`` counters and the
+                  kernelbench's ``kernels.*`` counters.
 
 Simulated-ops/sec counts *trace* operations retired per wall second;
 aborted-and-retried work is not double-counted, so the number is a
@@ -60,6 +71,7 @@ optimization itself eroded.
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import time
@@ -68,10 +80,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import Cell
 from repro.common.config import HTMConfig, RunConfig, SystemConfig
+from repro.common.vector import HAVE_NUMPY
 from repro.common.errors import IncompleteGridError
 from repro.coherence.protocol import MemorySystem
 from repro.htm import make_htm
-from repro.obs.metrics import publish_fastpath
+from repro.kernels import resolve_kernel_name
+from repro.obs.metrics import publish_fastpath, publish_kernels
 from repro.perf.cache import ResultCache
 from repro.perf.legacy import (
     LegacyExecutor,
@@ -104,7 +118,11 @@ from repro.workloads.trace import (
 #: /5: the grid gained replayed-trace cells (the committed fixture
 #: traces, transactified, at scale 1.0) and ``config.traces`` lists
 #: them; trace rows carry ``trace: true``.
-BENCH_SCHEMA = "repro-bench-perf/5"
+#: /6: added the per-kernel comparison section (``kernelbench``:
+#: interp vs batch SimulationKernel backends, per-kernel ops/sec and
+#: the CI-enforced speedup), ``config.kernel``, and ``kernels.*``
+#: metrics.
+BENCH_SCHEMA = "repro-bench-perf/6"
 
 #: Default output path, at the repo root like the other BENCH files.
 DEFAULT_OUT = "BENCH_perf.json"
@@ -471,10 +489,121 @@ def faultbench(seed: int = 2008, rounds: int = 41,
     }
 
 
+# ----------------------------------------------------------------------
+# Kernel microbenchmark
+# ----------------------------------------------------------------------
+
+#: Kernelbench trace shape: a handful of *large* transactions, each a
+#: long run of 1-cycle COMPUTE ops — the regime the batch backend's
+#: run-length advancement targets (and the paper's large-transaction
+#: pitch).  Short traces with many tiny transactions spend their wall
+#: time in the shared HTM access path, which both kernels execute
+#: op-by-op; this shape isolates the hot loop itself.
+KERNELBENCH_TXNS = 4
+KERNELBENCH_COMPUTES = 20_000
+KERNELBENCH_COMPUTE_CYCLES = 1
+
+#: Scheduler quantum for the kernel comparison.  The default quantum
+#: (200 cycles) bounds every COMPUTE batch at 200 ops, so quantum
+#: bookkeeping — identical in both kernels — dominates the paired
+#: ratio.  1000-cycle quanta match the large-transaction regime the
+#: batch backend exists for; both kernels run under the same quantum,
+#: and the identical-statistics assert holds regardless.
+KERNELBENCH_QUANTUM = 1000
+
+
+def _kernel_run(kernel: str, trace, seed: int, quantum: int):
+    system = SystemConfig()
+    htm_cfg = HTMConfig()
+    machine = make_htm("TokenTM", MemorySystem(system), htm_cfg)
+    executor = Executor(
+        machine, trace,
+        RunConfig(system=system, htm=htm_cfg, seed=seed, kernel=kernel),
+        validate=False, track_history=False, quantum=quantum,
+    )
+    # The batch run is short enough that a cyclic-GC pause inherited
+    # from the *previous* arm's garbage can triple its wall time and
+    # wreck the paired ratio; drain and pause the collector around
+    # the timed region (what ``timeit`` does by default).
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = executor.run()
+        wall = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return wall, result.stats, executor.kernel_stats()
+
+
+def kernelbench(seed: int = 2008, rounds: int = 21,
+                scale: float = 1.0) -> Dict:
+    """Batch vs. interp :class:`~repro.kernels.base.SimulationKernel`
+    backends on one compute-heavy large-transaction trace.
+
+    Both arms run the identical trace through the same scheduler at
+    the same (documented) quantum; the only difference is the
+    ``run_quantum`` implementation.  The two runs must produce
+    identical statistics (asserted — the backends' core contract),
+    and CI asserts ``speedup`` >= 3.
+
+    Like :func:`faultbench`, ``speedup`` is the *median of paired
+    per-round ratios* with alternating execution order, so machine
+    load drift hits both sides of a pair and cancels, where a
+    best-of-each-arm quotient would keep it.
+    """
+    trace = micro_trace(txns=max(1, int(KERNELBENCH_TXNS * scale)),
+                        computes=KERNELBENCH_COMPUTES,
+                        compute_cycles=KERNELBENCH_COMPUTE_CYCLES)
+    ops = trace.total_ops()
+    _kernel_run("batch", trace, seed, KERNELBENCH_QUANTUM)  # warmup
+    best = {"interp": float("inf"), "batch": float("inf")}
+    stats = {"interp": None, "batch": None}
+    batch_snapshot = None
+    ratios = []
+    for i in range(max(1, rounds)):
+        order = ("interp", "batch") if i % 2 == 0 \
+            else ("batch", "interp")
+        walls = {}
+        for name in order:
+            walls[name], run_stats, kstats = _kernel_run(
+                name, trace, seed, KERNELBENCH_QUANTUM)
+            if walls[name] < best[name]:
+                best[name], stats[name] = walls[name], run_stats
+                if name == "batch":
+                    batch_snapshot = kstats
+        ratios.append(walls["interp"] / walls["batch"])
+    if stats["interp"].snapshot() != stats["batch"].snapshot():
+        raise AssertionError(
+            "interp and batch kernels diverged on the kernelbench trace"
+        )
+    ratios.sort()
+    mid = len(ratios) // 2
+    speedup = ratios[mid] if len(ratios) % 2 else \
+        (ratios[mid - 1] + ratios[mid]) / 2
+    return {
+        "trace_ops": ops,
+        "rounds": rounds,
+        "quantum": KERNELBENCH_QUANTUM,
+        "interp_wall_seconds": best["interp"],
+        "batch_wall_seconds": best["batch"],
+        "interp_ops_per_sec": ops / best["interp"],
+        "batch_ops_per_sec": ops / best["batch"],
+        "speedup": speedup,
+        "numpy": HAVE_NUMPY,
+        "identical_stats": True,
+        "kernel": batch_snapshot,
+    }
+
+
 #: Aliases for use inside :func:`run_bench`, whose ``membench`` /
-#: ``faultbench`` boolean parameters shadow the function names.
+#: ``faultbench`` / ``kernelbench`` boolean parameters shadow the
+#: function names.
 _membench = membench
 _faultbench = faultbench
+_kernelbench = kernelbench
 
 
 # ----------------------------------------------------------------------
@@ -482,7 +611,7 @@ _faultbench = faultbench
 # ----------------------------------------------------------------------
 
 #: Sections whose ``speedup`` ratio the regression check compares.
-REGRESSION_SECTIONS = ("microbench", "membench")
+REGRESSION_SECTIONS = ("microbench", "membench", "kernelbench")
 
 
 def load_bench(path: str) -> Dict:
@@ -494,8 +623,8 @@ def check_regression(fresh: Dict, baseline: Dict,
                      tolerance: float = 0.3) -> List[str]:
     """Compare microbenchmark speedups against a committed baseline.
 
-    Ratios (optimized/legacy, filtered/unfiltered) are compared, not
-    absolute ops/sec: both sides of each ratio ran on the same
+    Ratios (optimized/legacy, filtered/unfiltered, batch/interp) are
+    compared, not absolute ops/sec: both sides of each ratio ran on the same
     machine in the same process, so wall-clock noise between the CI
     runner and the machine that produced the baseline cancels out.
     Returns a list of human-readable failures (empty = pass).
@@ -515,6 +644,41 @@ def check_regression(fresh: Dict, baseline: Dict,
     return failures
 
 
+def baseline_warnings(fresh: Dict, baseline: Dict) -> List[str]:
+    """Non-fatal observations about a fresh-vs-baseline comparison.
+
+    :func:`check_regression` compares only what both payloads carry;
+    this companion names what that silently skipped, so ``--baseline``
+    against an older-schema file *warns* about the mismatch (and any
+    section present on only one side) instead of failing on a missing
+    key.  Returns human-readable warnings (empty = fully comparable).
+    """
+    warnings = []
+    fresh_schema = fresh.get("schema")
+    base_schema = baseline.get("schema")
+    if fresh_schema != base_schema:
+        warnings.append(
+            f"schema mismatch: baseline is {base_schema!r}, this run "
+            f"wrote {fresh_schema!r}; only sections present in both "
+            "are compared (regenerate the baseline with "
+            "`repro bench` to compare everything)"
+        )
+    for section in REGRESSION_SECTIONS:
+        base = (baseline.get(section) or {}).get("speedup")
+        now = (fresh.get(section) or {}).get("speedup")
+        if base and not now:
+            warnings.append(
+                f"section {section!r} present in the baseline but not "
+                "this run; skipped"
+            )
+        elif now and not base:
+            warnings.append(
+                f"section {section!r} present in this run but not the "
+                "baseline; skipped"
+            )
+    return warnings
+
+
 # ----------------------------------------------------------------------
 # Top-level harness
 # ----------------------------------------------------------------------
@@ -524,14 +688,18 @@ def bench_specs(quick: bool = False, seed: int = 2008,
                 variants: Optional[Sequence[str]] = None,
                 scale_factor: float = 1.0,
                 fast_path: bool = True,
-                traces: bool = True) -> List[CellSpec]:
+                traces: bool = True,
+                kernel: Optional[str] = None) -> List[CellSpec]:
     """The benchmark grid as cell specs (Figure 5 grid by default).
 
     With ``traces`` (the default) the committed fixture event traces
     are appended as replay cells — transactified, at their recorded
     size (``scale`` pinned to 1.0, which the trace workload ignores
     but the cache key records).  ``--quick`` keeps one fixture.
+    ``kernel`` picks the hot-loop backend for every cell (``None``
+    defers to ``$REPRO_KERNEL``, then ``interp``).
     """
+    kernel_name = resolve_kernel_name(kernel)
     registry = tm_workloads()
     if workload_names is None:
         workload_names = QUICK_WORKLOADS if quick else tuple(GRID_SCALES)
@@ -547,7 +715,8 @@ def bench_specs(quick: bool = False, seed: int = 2008,
         for variant in variants:
             specs.append(CellSpec(registry[name].spec, variant,
                                   seed=seed, scale=scale,
-                                  fast_path=fast_path))
+                                  fast_path=fast_path,
+                                  kernel=kernel_name))
     if traces:
         fixtures = fixture_workloads()
         names = QUICK_TRACE_FIXTURES if quick else tuple(fixtures)
@@ -555,7 +724,8 @@ def bench_specs(quick: bool = False, seed: int = 2008,
             for variant in variants:
                 specs.append(CellSpec(fixtures[name].spec, variant,
                                       seed=seed, scale=1.0,
-                                      fast_path=fast_path))
+                                      fast_path=fast_path,
+                                      kernel=kernel_name))
     return specs
 
 
@@ -570,14 +740,17 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
               micro_rounds: int = 3,
               membench: bool = True,
               faultbench: bool = True,
+              kernelbench: bool = True,
               fast_path: bool = True,
               traces: bool = True,
+              kernel: Optional[str] = None,
               supervisor: Optional[SupervisorConfig] = None) -> Dict:
     """Run the harness and write ``BENCH_perf.json``; returns payload."""
+    kernel_name = resolve_kernel_name(kernel)
     specs = bench_specs(quick=quick, seed=seed,
                         workload_names=workload_names, variants=variants,
                         scale_factor=scale_factor, fast_path=fast_path,
-                        traces=traces)
+                        traces=traces, kernel=kernel_name)
     cache = ResultCache(cache_dir) if cache_dir else None
     grid, metrics = run_grid(specs, workers=workers, cache=cache,
                              supervisor=supervisor)
@@ -592,6 +765,16 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
         metrics.update(
             publish_fastpath(mem_payload["fastpath"]).snapshot()
         )
+    kernel_payload = None
+    if kernelbench:
+        # Rounds follow faultbench's many-short-rounds reasoning: the
+        # median of paired ratios wants sample count on a noisy host.
+        kernel_payload = _kernelbench(seed=seed,
+                                      rounds=max(21, micro_rounds))
+        metrics = dict(metrics)
+        metrics.update(
+            publish_kernels("batch", kernel_payload["kernel"]).snapshot()
+        )
     total_ops = sum(c.get("trace_ops", 0) for c in grid["cells"])
     timed_walls = [c["wall_seconds"] for c in grid["cells"]
                    if c.get("wall_seconds")]
@@ -604,6 +787,7 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
             "workers": workers,
             "quick": quick,
             "fast_path": fast_path,
+            "kernel": kernel_name,
             "cache_dir": cache_dir,
             "scales": {c["workload"]: c["scale"] for c in grid["cells"]},
             "traces": sorted({s.workload.name for s in specs
@@ -628,6 +812,7 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
         "faultbench": (_faultbench(seed=seed,
                                    rounds=max(41, micro_rounds))
                        if faultbench else None),
+        "kernelbench": kernel_payload,
         "parallel": (compare_serial_parallel(specs, workers)
                      if compare_serial and workers > 1 else None),
         "metrics": metrics,
@@ -677,6 +862,14 @@ def format_bench_summary(payload: Dict) -> str:
             f"vs pre-faults {fb['prefaults_ops_per_sec']:,.0f} "
             f"(overhead {100.0 * (fb['overhead'] - 1):+.2f}%, "
             f"identical={fb['identical_stats']})"
+        )
+    kb = payload.get("kernelbench")
+    if kb:
+        lines.append(
+            f"kernels: batch {kb['batch_ops_per_sec']:,.0f} ops/sec "
+            f"vs interp {kb['interp_ops_per_sec']:,.0f} "
+            f"(speedup {kb['speedup']:.2f}x, numpy={kb['numpy']}, "
+            f"identical={kb['identical_stats']})"
         )
     par = payload.get("parallel")
     if par:

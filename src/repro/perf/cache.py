@@ -48,7 +48,12 @@ from typing import Any, Dict, Optional
 #: 4: ``workload`` may now be a trace spec (path/digest/convert) and
 #:    the executor gained SIGNAL/WAIT dependency ops — entries from
 #:    builds without the trace front-end must not answer for it.
-CACHE_SCHEMA = 4
+#: 5: CellSpec payload grew a ``kernel`` field (pluggable
+#:    SimulationKernel backends).  Backends are byte-identical by
+#:    contract, but they must never share entries: a cross-kernel
+#:    verification run answered from the other backend's cache would
+#:    silently prove nothing.
+CACHE_SCHEMA = 5
 
 #: Default cache directory (overridable via the environment).
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"

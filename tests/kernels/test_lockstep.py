@@ -1,0 +1,129 @@
+"""Cross-kernel lockstep equivalence: batch must equal interp.
+
+The byte-identical contract, end to end: every configuration in the
+matrix runs once per kernel on a fresh machine, and the RunStats
+snapshot, the ProtocolStats snapshot, and the full event stream must
+agree exactly.  The matrix covers all three HTM variant families,
+fast path on and off, a fault plan, and a committed trace fixture —
+the satellite checklist of the kernels PR.
+"""
+
+import pytest
+
+from repro.common.config import HTMConfig, RunConfig, SystemConfig
+from repro.coherence.protocol import MemorySystem
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import default_plan
+from repro.htm import make_htm
+from repro.kernels import KERNEL_NAMES
+from repro.obs.events import EventBus
+from repro.obs.sinks import RingBufferSink
+from repro.runtime.executor import Executor
+from repro.traces.workload import fixture_workloads
+from repro.workloads import cholesky, vacation_low
+
+#: One variant per HTM family (TokenTM / LogTM-SE / OneTM).
+FAMILY_VARIANTS = ("TokenTM", "LogTM-SE_4xH3", "OneTM")
+
+
+def _run(trace, variant, kernel, *, seed=7, fast_path=True,
+         faults=False, traced=True, system=None, quantum=200):
+    """One full run; returns (run snapshot, protocol snapshot, events)."""
+    sys_cfg = system or SystemConfig()
+    bus = sink = None
+    if traced:
+        bus = EventBus()
+        sink = RingBufferSink(100_000)
+        bus.attach(sink)
+    mem = MemorySystem(sys_cfg, bus=bus, fast_path=fast_path)
+    machine = make_htm(variant, mem, HTMConfig())
+    injector = None
+    if faults:
+        injector = FaultInjector(default_plan(), seed=seed, bus=bus)
+    executor = Executor(
+        machine, trace,
+        RunConfig(system=sys_cfg, seed=seed, kernel=kernel),
+        quantum=quantum, validate=False, track_history=False,
+        injector=injector,
+    )
+    stats = executor.run().stats
+    if bus is not None:
+        bus.close()
+    events = [e.to_dict() for e in sink.events] if sink else []
+    dropped = sink.dropped if sink else 0
+    return stats.snapshot(), mem.stats.snapshot(), events, dropped
+
+
+def _assert_lockstep(trace, variant, **kwargs):
+    reference = _run(trace, variant, KERNEL_NAMES[0], **kwargs)
+    for kernel in KERNEL_NAMES[1:]:
+        candidate = _run(trace, variant, kernel, **kwargs)
+        assert candidate[0] == reference[0], (
+            f"{kernel}: RunStats diverged from {KERNEL_NAMES[0]}")
+        assert candidate[1] == reference[1], (
+            f"{kernel}: ProtocolStats diverged from {KERNEL_NAMES[0]}")
+        assert candidate[3] == reference[3], (
+            f"{kernel}: event drop count diverged")
+        assert candidate[2] == reference[2], (
+            f"{kernel}: event stream diverged")
+
+
+@pytest.mark.parametrize("fast_path", [True, False],
+                         ids=["fastpath", "no-fastpath"])
+@pytest.mark.parametrize("variant", FAMILY_VARIANTS)
+def test_lockstep_synthetic(variant, fast_path):
+    trace = cholesky().generate(seed=7, scale=0.004, threads=4)
+    _assert_lockstep(trace, variant, fast_path=fast_path)
+
+
+@pytest.mark.parametrize("variant", FAMILY_VARIANTS)
+def test_lockstep_under_faults(variant):
+    """A fault plan exercises the abort/rewind paths the batch
+    kernel's mem-run batching must break out of correctly."""
+    trace = vacation_low().generate(seed=11, scale=0.008, threads=4)
+    _assert_lockstep(trace, variant, faults=True, seed=11)
+
+
+def test_lockstep_committed_trace_fixture():
+    """The committed event-trace fixtures replay identically."""
+    fixtures = fixture_workloads()
+    name = sorted(fixtures)[0]
+    trace = fixtures[name].generate(seed=0)
+    for variant in FAMILY_VARIANTS:
+        _assert_lockstep(trace, variant)
+
+
+def test_lockstep_preemptive():
+    """Time-sharing maximizes context switches and partial quanta —
+    the scheduler states the batch kernel must flush through."""
+    from repro.analysis.experiments import run_trace
+
+    system = SystemConfig().scaled(4)  # 8 threads on 4 cores
+    trace = vacation_low().generate(seed=9, scale=0.008, threads=8)
+    assert run_trace(trace, "TokenTM", system=system, seed=9,
+                     quantum=25).preemptions > 0
+    reference = _run(trace, "TokenTM", KERNEL_NAMES[0], seed=9,
+                     system=system, quantum=25)
+    for kernel in KERNEL_NAMES[1:]:
+        candidate = _run(trace, "TokenTM", kernel, seed=9,
+                         system=system, quantum=25)
+        assert candidate == reference
+
+
+def test_batch_kernel_actually_batches():
+    """Guard against the lockstep matrix passing vacuously because
+    the batch fast paths never engage."""
+    from repro.perf.bench import micro_trace
+
+    trace = micro_trace(txns=4, computes=64)
+    sys_cfg = SystemConfig()
+    machine = make_htm("TokenTM", MemorySystem(sys_cfg), HTMConfig())
+    executor = Executor(machine, trace,
+                        RunConfig(system=sys_cfg, seed=7, kernel="batch"),
+                        validate=False, track_history=False)
+    executor.run()
+    snap = executor.kernel_stats()
+    assert snap["compute_batches"] > 0
+    assert snap["compute_ops_vectorized"] > snap["compute_batches"]
+    assert snap["mem_runs"] > 0
+    assert snap["columns_built"] == trace.num_threads

@@ -1,0 +1,128 @@
+"""Kernel registry, selection precedence, and cache-key separation."""
+
+import pytest
+
+from repro.common.config import RunConfig
+from repro.common.errors import ConfigError
+from repro.kernels import (
+    DEFAULT_KERNEL,
+    ENV_KERNEL,
+    KERNEL_NAMES,
+    KERNELS,
+    make_kernel,
+    resolve_kernel_name,
+)
+from repro.kernels.base import SimulationKernel
+from repro.kernels.batch import BatchKernel
+from repro.kernels.interp import InterpKernel
+
+
+def test_registry_names():
+    assert set(KERNEL_NAMES) == set(KERNELS) == {"interp", "batch"}
+    assert DEFAULT_KERNEL == "interp"
+    for name, cls in KERNELS.items():
+        assert cls.name == name
+        assert issubclass(cls, SimulationKernel)
+
+
+def test_resolve_defaults_to_interp(monkeypatch):
+    monkeypatch.delenv(ENV_KERNEL, raising=False)
+    assert resolve_kernel_name(None) == "interp"
+    assert resolve_kernel_name("batch") == "batch"
+
+
+def test_resolve_env_fallback(monkeypatch):
+    monkeypatch.setenv(ENV_KERNEL, "batch")
+    assert resolve_kernel_name(None) == "batch"
+    # An explicit name beats the environment.
+    assert resolve_kernel_name("interp") == "interp"
+
+
+def test_resolve_unknown_raises(monkeypatch):
+    monkeypatch.delenv(ENV_KERNEL, raising=False)
+    with pytest.raises(ConfigError, match="interp"):
+        resolve_kernel_name("jit")
+    monkeypatch.setenv(ENV_KERNEL, "warp")
+    with pytest.raises(ConfigError):
+        resolve_kernel_name(None)
+
+
+def test_make_kernel(monkeypatch):
+    monkeypatch.delenv(ENV_KERNEL, raising=False)
+    assert isinstance(make_kernel(), InterpKernel)
+    assert isinstance(make_kernel("batch"), BatchKernel)
+
+
+def test_executor_reports_its_kernel(monkeypatch):
+    from repro.common.config import HTMConfig, SystemConfig
+    from repro.coherence.protocol import MemorySystem
+    from repro.htm import make_htm
+    from repro.runtime.executor import Executor
+    from repro.workloads import cholesky
+
+    monkeypatch.delenv(ENV_KERNEL, raising=False)
+    trace = cholesky().generate(seed=1, scale=0.002, threads=4)
+    system = SystemConfig()
+
+    def build(kernel=None, config_kernel=None):
+        machine = make_htm("TokenTM", MemorySystem(system), HTMConfig())
+        return Executor(machine, trace,
+                        RunConfig(system=system, kernel=config_kernel),
+                        validate=False, track_history=False,
+                        kernel=kernel)
+
+    assert build().kernel == "interp"
+    assert build(kernel="batch").kernel == "batch"
+    # RunConfig.kernel is the fallback; the explicit argument wins.
+    assert build(config_kernel="batch").kernel == "batch"
+    assert build(kernel="interp", config_kernel="batch").kernel == "interp"
+    # A pre-built kernel instance is adopted as-is.
+    instance = BatchKernel()
+    executor = build(kernel=instance)
+    assert executor.kernel == "batch"
+    assert executor.kernel_stats() == instance.snapshot()
+
+
+def test_cellspec_payload_and_cache_key_separate_kernels(tmp_path):
+    from repro.perf.cache import ResultCache, cell_key
+    from repro.perf.runner import CellSpec
+    from repro.workloads import cholesky
+
+    spec = cholesky().spec
+    interp_spec = CellSpec(spec, "TokenTM", seed=1, scale=0.002)
+    batch_spec = CellSpec(spec, "TokenTM", seed=1, scale=0.002,
+                          kernel="batch")
+    assert interp_spec.payload()["kernel"] == "interp"
+    assert batch_spec.payload()["kernel"] == "batch"
+    # Backends must never share cache entries: a cross-kernel
+    # verification answered from the other backend's cache would
+    # prove nothing.
+    assert cell_key(interp_spec) != cell_key(batch_spec)
+    cache = ResultCache(tmp_path)
+    assert cell_key(interp_spec) not in cache
+
+
+def test_grid_specs_resolve_kernel(monkeypatch):
+    from repro.perf.runner import grid_specs
+    from repro.workloads import cholesky
+
+    monkeypatch.setenv(ENV_KERNEL, "batch")
+    specs = grid_specs([cholesky()], ["TokenTM"], scale=0.002)
+    assert specs and all(s.kernel == "batch" for s in specs)
+    specs = grid_specs([cholesky()], ["TokenTM"], scale=0.002,
+                       kernel="interp")
+    assert specs and all(s.kernel == "interp" for s in specs)
+
+
+def test_metrics_preregistered_at_zero():
+    from repro.obs.metrics import KERNEL_COUNTERS, publish_kernels
+
+    reg = publish_kernels("batch", {"quanta": 3, "numpy": 1})
+    snap = reg.snapshot()
+    assert set(KERNEL_COUNTERS) <= set(snap)
+    assert snap["kernels.batch.quanta"]["value"] == 3
+    assert snap["kernels.batch.numpy"]["value"] == 1
+    assert snap["kernels.batch.mem_runs"]["value"] == 0
+    # An interp-only run still exposes the full key set, all zero.
+    interp = publish_kernels("interp", {"quanta": 5}).snapshot()
+    assert all(interp[name]["value"] == 0 for name in KERNEL_COUNTERS)
