@@ -27,13 +27,15 @@ Commands map one-to-one onto the paper's experiments:
 * ``figure5``  — the main performance comparison;
 * ``bench``    — the performance benchmark harness
   (``BENCH_perf.json``; see ``docs/performance.md``);
-* ``variants`` — list the available HTM variants.
+* ``variants`` — list the available HTM variants;
+* ``kernels``  — list the kernel backends and what each can use on
+  this host (numpy, native toolchain, default/env selection).
 
 Every command takes ``--seed`` and (where it applies) ``--scale`` so
 results are reproducible and sized to taste.  The simulating commands
 (``run``/``figure1``/``figure5``/``bench``/``chaos``) take
-``--kernel {interp,batch}`` to pick the hot-loop backend (results are
-byte-identical; see docs/performance.md, "Kernel backends").  The grid commands
+``--kernel {interp,batch,spec}`` to pick the hot-loop backend (results
+are byte-identical; see docs/performance.md, "Kernel backends").  The grid commands
 (``figure1``/``figure5``/``bench``) take ``--workers`` to fan cells
 out over processes, ``--cache-dir`` to reuse finished cells across
 invocations, and the supervision flags
@@ -97,6 +99,40 @@ def _workload(name: str):
 def cmd_variants(_args) -> int:
     for variant in VARIANTS:
         print(variant)
+    return 0
+
+
+def cmd_kernels(args) -> int:
+    """List the registered kernel backends with availability details."""
+    from repro.kernels import kernel_info
+
+    info = kernel_info()
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    env = f"$REPRO_KERNEL={info['env']}" if info["env"] else "unset"
+    print(f"default: {info['default']}  env: {env}  "
+          f"selected: {info['selected']}")
+    for row in info["kernels"]:
+        marks = []
+        if row["default"]:
+            marks.append("default")
+        if row["selected"]:
+            marks.append("selected")
+        caps = []
+        if "numpy" in row:
+            caps.append(f"numpy={'yes' if row['numpy'] else 'no'}")
+        if row.get("name") == "spec":
+            if row["native"]:
+                caps.append(f"native={row['native_backend']}")
+            elif not row["native_enabled"]:
+                caps.append("native=disabled ($REPRO_SPEC_NATIVE)")
+            else:
+                caps.append("native=no (pure-Python exec)")
+        suffix = f" [{', '.join(marks)}]" if marks else ""
+        cap_str = f" ({', '.join(caps)})" if caps else ""
+        print(f"  {row['name']:<7} {row['description']}"
+              f"{cap_str}{suffix}")
     return 0
 
 
@@ -487,6 +523,7 @@ def cmd_bench(args) -> int:
             fast_path=not args.no_fastpath,
             traces=not args.no_traces,
             kernel=args.kernel,
+            only=args.only,
             supervisor=_supervisor_from_args(args),
         )
     except IncompleteGridError as exc:
@@ -675,6 +712,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("variants", help="list HTM variants") \
         .set_defaults(func=cmd_variants)
 
+    kernels_p = sub.add_parser(
+        "kernels",
+        help="list kernel backends with availability details")
+    kernels_p.add_argument("--json", action="store_true",
+                           help="machine-readable report")
+    kernels_p.set_defaults(func=cmd_kernels)
+
     run_p = sub.add_parser("run", help="run one workload on one variant")
     run_p.add_argument("workload", nargs="?", default=None,
                        help="Table 5 workload name (omit when "
@@ -846,6 +890,8 @@ def build_parser() -> argparse.ArgumentParser:
         _add_supervision_flags(p)
         p.set_defaults(func=func)
 
+    from repro.perf.bench import BENCH_SECTIONS
+
     bench_p = sub.add_parser(
         "bench", help="performance benchmark harness (BENCH_perf.json)")
     bench_p.add_argument("--out", metavar="FILE", default="BENCH_perf.json")
@@ -877,6 +923,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "disabled (results are identical)")
     bench_p.add_argument("--no-traces", action="store_true",
                          help="skip the fixture event-trace grid cells")
+    bench_p.add_argument("--only", action="append", metavar="SECTION",
+                         choices=BENCH_SECTIONS, default=None,
+                         help="run only this section (repeatable; "
+                              f"choices: {', '.join(BENCH_SECTIONS)}); "
+                              "skipped sections are null in the payload "
+                              "and only warn under --baseline")
     bench_p.add_argument("--baseline", metavar="FILE", default=None,
                          help="compare against a committed "
                               "BENCH_perf.json; exit 1 on regression")

@@ -47,6 +47,10 @@ class ReproBundle:
     mutant: Optional[str] = None
     #: Event-trace file the cell replayed (None = synthetic workload).
     trace_file: Optional[str] = None
+    #: Generated hot-loop source when the failing run used a
+    #: code-generating kernel (``spec``); None for hand-written loops.
+    #: Diagnostic only — replay regenerates from the config.
+    kernel_source: Optional[str] = None
 
     def fault_plan(self) -> FaultPlan:
         return FaultPlan.from_dict(self.plan)
@@ -63,6 +67,7 @@ class ReproBundle:
             "skew_tolerance": self.skew_tolerance,
             "mutant": self.mutant,
             "trace_file": self.trace_file,
+            "kernel_source": self.kernel_source,
             "plan": self.plan,
             "error": self.error,
             "faults": self.faults,
@@ -98,6 +103,7 @@ class ReproBundle:
             skew_tolerance=data.get("skew_tolerance"),
             mutant=data.get("mutant"),
             trace_file=data.get("trace_file"),
+            kernel_source=data.get("kernel_source"),
             plan=dict(data.get("plan", {})),
             error=dict(data.get("error", {})),
             faults=dict(data.get("faults", {})),

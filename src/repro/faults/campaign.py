@@ -265,6 +265,7 @@ def run_chaos_cell(workload: str = DEFAULT_WORKLOAD,
             quantum=quantum, cadence=cadence,
             skew_tolerance=skew_tolerance, mutant=mutant,
             trace_file=trace_file,
+            kernel_source=executor.kernel_source,
             plan=plan.to_dict(), error=dict(cell.error),
             faults=injector.snapshot(),
             trace_tail=[e.to_dict() for e in sink.events],

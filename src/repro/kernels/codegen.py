@@ -1,0 +1,332 @@
+"""Per-config code generation for the ``spec`` kernel.
+
+The spec backend partially evaluates the quantum loop against the one
+configuration it will ever run: at attach time it derives a
+:class:`SpecProfile` from the frozen executor state (HTM variant,
+fast path, faults, tracing, scheduling mode, commit budget, and the
+opcode families the trace actually contains), then
+:func:`generate_source` emits straight-line Python source with every
+disabled feature *absent* — no per-op dispatch dict on the hot
+families, no ``if traced:`` or ``if faults_on:`` residue, no doom
+check for non-transactional traces, no blocked-yield check when the
+trace has no locks or waits.
+
+Generation is deterministic: the same profile always yields
+byte-identical source (unit-tested), and the emitted module is pure —
+it defines a single ``bind(deps)`` factory and references nothing but
+its own parameters, so it compiles in an empty namespace
+(``exec(code, {"__builtins__": {}})``) and is equally valid as input
+to an ahead-of-time native compiler (:mod:`repro.kernels.native`).
+
+The generated loop borrows both proven mechanisms:
+
+* long COMPUTE runs advance with one ``bisect_left`` over prefix-sum
+  columns (the batch kernel's vectorized path), chosen when the
+  trace's maximal COMPUTE run is long enough to amortize the call;
+* short/singleton COMPUTE runs inline the reference kernel's
+  ``clock += arg`` tight loop instead — a bisect per one-op run is
+  pure overhead;
+* granted READ/WRITE runs retire in a check-free inner loop with the
+  two handlers bound directly into closure locals (no dispatch-table
+  subscript, no telemetry increments);
+* in short-compute mode the two families *fuse*: one leaf loop
+  retires a whole span of granted accesses and interleaved COMPUTEs
+  without re-entering the outer loop at each family switch.  The
+  skip-the-checks argument extends to the fused span: no other
+  thread runs inside it, a granted access cannot doom this thread /
+  set done / block, and a COMPUTE calls no handler at all, so doom
+  and done are provably frozen until the span breaks (stall, abort,
+  deadline, trace end, or a non-leaf opcode) — and every break lands
+  back on the outer loop's full check sequence.
+
+Equivalence arguments are inherited from the kernels they were lifted
+from (:mod:`repro.kernels.interp`, :mod:`repro.kernels.batch`) and
+re-proven by the lockstep matrix and the differential harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import List
+
+from repro.workloads.trace import (
+    OP_BEGIN,
+    OP_COMPUTE,
+    OP_LOCK,
+    OP_READ,
+    OP_WAIT,
+    OP_WRITE,
+)
+
+#: Maximal-COMPUTE-run threshold above which the generated loop uses
+#: the prefix-column bisect instead of the inline add-per-op loop.
+#: Below it, one ``bisect_left`` call costs more than the ops it
+#: retires (the memory-heavy kernelbench trace is the regression test
+#: for this choice).
+LONG_COMPUTE_RUN = 32
+
+
+@dataclass(frozen=True)
+class SpecProfile:
+    """Everything the specializer conditions on.
+
+    The first block is provenance — dimensions that are frozen per
+    run and recorded in the generated header so two different
+    configurations never share a source string by accident.  The
+    second block is structural: each flag gates whole arms of the
+    generated loop.
+    """
+
+    variant: str = "TokenTM"
+    fast_path: bool = True
+    preemptive: bool = False
+    faults: bool = False
+
+    #: Structural: emit ``bus.now`` stamps (event tracing live).
+    traced: bool = False
+    #: Structural: emit the top-of-loop doom-abort arm.
+    transactional: bool = True
+    #: Structural: handlers may return False (OP_LOCK/OP_WAIT present).
+    blocking: bool = False
+    #: Structural: a handler may set ``thread.done`` mid-quantum
+    #: (``RunConfig.max_commits`` budget truncation).
+    budget: bool = False
+    #: Structural: emit the granted READ/WRITE run arm.
+    mem_ops: bool = True
+    #: Structural: emit the COMPUTE arm at all.
+    compute_ops: bool = True
+    #: Structural: COMPUTE arm strategy — prefix-column bisect for
+    #: long runs, the reference inline loop for short ones.
+    long_computes: bool = True
+    #: Structural: any opcode outside {COMPUTE, READ, WRITE} exists,
+    #: so the generic dispatch-table arm is reachable.
+    other_ops: bool = True
+
+    def key(self) -> str:
+        """Stable one-line rendering (header comment + cache keys)."""
+        parts = [f"{f.name}={getattr(self, f.name)}"
+                 for f in fields(self)]
+        return " ".join(parts)
+
+
+def derive_profile(executor) -> SpecProfile:
+    """Read the frozen run configuration off an attached executor."""
+    opcodes = set()
+    max_compute_run = 0
+    for thread in executor._threads:
+        run = 0
+        for op, _ in thread.ops:
+            opcodes.add(op)
+            if op == OP_COMPUTE:
+                run += 1
+                if run > max_compute_run:
+                    max_compute_run = run
+            else:
+                run = 0
+    mem = executor.htm.mem
+    return SpecProfile(
+        variant=executor.htm.name,
+        fast_path=mem.fast_path_enabled,
+        preemptive=executor._preemptive,
+        faults=(executor._injector.enabled or
+                executor._monitor.enabled),
+        traced=executor._bus.enabled,
+        transactional=OP_BEGIN in opcodes,
+        blocking=(OP_LOCK in opcodes or OP_WAIT in opcodes),
+        budget=executor._config.max_commits is not None,
+        mem_ops=(OP_READ in opcodes or OP_WRITE in opcodes),
+        compute_ops=OP_COMPUTE in opcodes,
+        long_computes=max_compute_run >= LONG_COMPUTE_RUN,
+        other_ops=bool(opcodes - {OP_COMPUTE, OP_READ, OP_WRITE}),
+    )
+
+
+def generate_source(profile: SpecProfile) -> str:
+    """Emit the specialized module source for ``profile``.
+
+    Deterministic: byte-identical output for equal profiles.  The
+    module defines one symbol, ``bind(deps)``, which closes over the
+    executor invariants in ``deps`` and returns the specialized
+    ``run_quantum(thread)`` callable.
+    """
+    lines: List[str] = []
+    emit = lines.append
+
+    emit("# Specialized quantum loop (generated; do not edit).")
+    emit(f"# profile: {profile.key()}")
+    emit("")
+    emit("")
+    emit("def bind(deps):")
+    emit("    quantum = deps['quantum']")
+    emit("    counters = deps['counters']")
+    emit("    length = deps['len']")
+    if profile.traced:
+        emit("    bus = deps['bus']")
+    if profile.transactional:
+        emit("    abort = deps['abort']")
+        emit("    cm_kill = deps['cm_kill']")
+    if profile.mem_ops or profile.other_ops:
+        emit("    dispatch = deps['dispatch']")
+    if profile.mem_ops:
+        emit(f"    h_read = dispatch[{OP_READ}]")
+        emit(f"    h_write = dispatch[{OP_WRITE}]")
+    if profile.compute_ops and profile.long_computes:
+        emit("    columns = deps['columns']")
+        emit("    bisect = deps['bisect']")
+    emit("")
+    emit("    def run_quantum(thread):")
+    emit("        counters[0] += 1")
+    emit("        deadline = thread.clock + quantum")
+    emit("        ops = thread.ops")
+    emit("        nops = length(ops)")
+    if profile.compute_ops and profile.long_computes:
+        emit("        prefix, compute_end = columns[thread.tid]")
+    emit("        clock = thread.clock")
+    emit("        pc = thread.pc")
+    emit("        while clock < deadline:")
+    if profile.transactional:
+        emit("            if thread.in_txn and "
+             "thread.doomed_epoch == thread.txn_epoch:")
+        emit("                thread.clock = clock")
+        emit("                thread.pc = pc")
+        if profile.traced:
+            emit("                bus.now = clock")
+        emit("                abort(thread, cm_kill)")
+        emit("                clock = thread.clock")
+        emit("                pc = thread.pc")
+        emit("                continue")
+    emit("            if pc >= nops:")
+    emit("                thread.clock = clock")
+    emit("                thread.pc = pc")
+    emit("                thread.done = True")
+    emit("                return")
+    emit("            opcode, arg = ops[pc]")
+    fused = (profile.mem_ops and profile.compute_ops and
+             not profile.long_computes)
+    if profile.compute_ops and not fused:
+        emit(f"            if opcode == {OP_COMPUTE}:")
+        if profile.long_computes:
+            # The batch kernel's whole-run advancement: op i of the
+            # run is consumed iff its starting clock stays below the
+            # deadline; the first violating index is one bisect away.
+            emit("                stop = bisect(prefix,"
+                 " deadline - clock + prefix[pc],")
+            emit("                              pc, compute_end[pc])")
+            emit("                clock += prefix[stop] - prefix[pc]")
+            emit("                pc = stop")
+        else:
+            # The reference kernel's inline run consumption: cheaper
+            # than a bisect when runs are short.
+            emit("                clock += arg")
+            emit("                pc += 1")
+            emit("                while clock < deadline and pc < nops:")
+            emit("                    opcode, arg = ops[pc]")
+            emit(f"                    if opcode != {OP_COMPUTE}:")
+            emit("                        break")
+            emit("                    clock += arg")
+            emit("                    pc += 1")
+        emit("                continue")
+    if fused:
+        # The fused leaf loop: granted READ/WRITE ops and short
+        # COMPUTE runs retire in one inner loop, skipping the outer
+        # doom/done/bounds checks across the whole span (see the
+        # module docstring for why that is sound).  "pc advanced by
+        # exactly one" is the grant test: a stall keeps pc, an abort
+        # rewinds it, either breaks back to the outer checks.
+        emit(f"            if opcode == {OP_COMPUTE} or "
+             f"opcode == {OP_READ} or opcode == {OP_WRITE}:")
+        emit("                while True:")
+        emit(f"                    if opcode == {OP_COMPUTE}:")
+        emit("                        clock += arg")
+        emit("                        pc += 1")
+        emit("                        if clock >= deadline or "
+             "pc >= nops:")
+        emit("                            break")
+        emit("                        opcode, arg = ops[pc]")
+        emit(f"                        if opcode == {OP_COMPUTE} or "
+             f"opcode == {OP_READ} or opcode == {OP_WRITE}:")
+        emit("                            continue")
+        emit("                        break")
+        emit("                    thread.clock = clock")
+        emit("                    thread.pc = pc")
+        if profile.traced:
+            emit("                    bus.now = clock")
+        emit(f"                    if opcode == {OP_READ}:")
+        emit("                        h_read(thread, arg)")
+        emit("                    else:")
+        emit("                        h_write(thread, arg)")
+        emit("                    clock = thread.clock")
+        emit("                    npc = thread.pc")
+        emit("                    if npc != pc + 1:")
+        emit("                        pc = npc")
+        emit("                        break")
+        emit("                    pc = npc")
+        emit("                    if clock >= deadline or pc >= nops:")
+        emit("                        break")
+        emit("                    opcode, arg = ops[pc]")
+        emit(f"                    if opcode != {OP_COMPUTE} and "
+             f"opcode != {OP_READ} and opcode != {OP_WRITE}:")
+        emit("                        break")
+        emit("                continue")
+    elif profile.mem_ops:
+        # Granted READ/WRITE runs retire without re-running the outer
+        # doom/done/bounds checks: a granted access cannot doom this
+        # thread, set done, or block; a stall keeps pc and an abort
+        # rewinds it, so "pc advanced by exactly one" is the grant
+        # test (the batch kernel's argument, verbatim).
+        emit(f"            if opcode == {OP_READ} or "
+             f"opcode == {OP_WRITE}:")
+        emit("                while True:")
+        emit("                    thread.clock = clock")
+        emit("                    thread.pc = pc")
+        if profile.traced:
+            emit("                    bus.now = clock")
+        emit(f"                    if opcode == {OP_READ}:")
+        emit("                        h_read(thread, arg)")
+        emit("                    else:")
+        emit("                        h_write(thread, arg)")
+        emit("                    clock = thread.clock")
+        emit("                    npc = thread.pc")
+        emit("                    if npc != pc + 1:")
+        emit("                        pc = npc")
+        emit("                        break")
+        emit("                    pc = npc")
+        emit("                    if clock >= deadline or pc >= nops:")
+        emit("                        break")
+        emit("                    opcode, arg = ops[pc]")
+        emit(f"                    if opcode != {OP_READ} and "
+             f"opcode != {OP_WRITE}:")
+        emit("                        break")
+        emit("                continue")
+    if profile.other_ops:
+        emit("            thread.clock = clock")
+        emit("            thread.pc = pc")
+        if profile.traced:
+            emit("            bus.now = clock")
+        if profile.blocking:
+            emit("            if dispatch[opcode](thread, arg) is False:")
+            emit("                return")
+        else:
+            emit("            dispatch[opcode](thread, arg)")
+        emit("            clock = thread.clock")
+        emit("            pc = thread.pc")
+        if profile.budget:
+            emit("            if thread.done:")
+            emit("                return")
+    emit("        thread.clock = clock")
+    emit("        thread.pc = pc")
+    emit("")
+    emit("    return run_quantum")
+    return "\n".join(lines) + "\n"
+
+
+def compile_bind(source: str):
+    """Compile ``source`` in a clean namespace; return its ``bind``.
+
+    The namespace carries no builtins — the generated module must be
+    self-contained (everything it touches arrives through ``deps``),
+    which is also what makes it valid native-compiler input.
+    """
+    namespace = {"__builtins__": {}}
+    exec(compile(source, "<spec-kernel>", "exec"), namespace)
+    return namespace["bind"]

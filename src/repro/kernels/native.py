@@ -1,0 +1,166 @@
+"""Optional ahead-of-time native compilation for spec kernel source.
+
+Mirrors the numpy-optional pattern of :mod:`repro.common.vector`: when
+a toolchain (Cython, else mypyc — the ``[native]`` packaging extra)
+is importable, the generated module from
+:mod:`repro.kernels.codegen` is compiled to a C extension ahead of
+time and the artifact is cached under the result cache root
+(``$REPRO_CACHE_DIR`` or ``.repro-cache``) in ``native/``, keyed by
+the SHA-256 of the source — same source, same artifact, no rebuild.
+When no toolchain is present, or any step of the build fails, the
+caller falls back to the pure-Python ``compile()``/``exec`` path; the
+degradation is mandatory, reported once per process on stderr, and
+visible as the ``kernels.spec.native`` gauge staying 0.
+
+``REPRO_SPEC_NATIVE=off`` (or ``0``/``no``/``false``) disables the
+attempt outright — useful where a toolchain exists but deterministic
+startup time matters more than loop speed.
+"""
+
+from __future__ import annotations
+
+import importlib.machinery
+import importlib.util
+import os
+import sys
+from hashlib import sha256
+from pathlib import Path
+from typing import Optional
+
+#: Environment switch: set to ``off`` to never attempt native builds.
+ENV_NATIVE = "REPRO_SPEC_NATIVE"
+
+_DISABLED_VALUES = {"0", "off", "no", "false"}
+
+#: source-hash -> loaded module (or None after a failed attempt), so
+#: one process never builds — or fails to build — the same source
+#: twice.
+_MODULE_CACHE: dict = {}
+
+_degradation_noted = False
+
+
+def native_enabled() -> bool:
+    """False when ``$REPRO_SPEC_NATIVE`` opts out."""
+    return os.environ.get(ENV_NATIVE, "").lower() not in _DISABLED_VALUES
+
+
+def native_backend() -> Optional[str]:
+    """Which toolchain would compile the spec source, if any."""
+    if not native_enabled():
+        return None
+    try:
+        import Cython  # noqa: F401
+        return "cython"
+    except ImportError:
+        pass
+    try:
+        import mypyc  # noqa: F401
+        return "mypyc"
+    except ImportError:
+        pass
+    return None
+
+
+def _note_degradation(reason: str) -> None:
+    """One stderr line per process when the native path degrades."""
+    global _degradation_noted
+    if _degradation_noted:
+        return
+    _degradation_noted = True
+    print(f"repro: spec kernel: {reason}; "
+          "using the pure-Python exec path", file=sys.stderr)
+
+
+def _cache_root() -> Path:
+    # Imported lazily: repro.perf pulls in the runner/executor stack,
+    # which imports repro.kernels — a module-level import here would
+    # be a cycle.
+    from repro.perf.cache import default_cache_dir
+
+    return default_cache_dir() / "native"
+
+
+def _load_extension(path: Path, module_name: str):
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load native artifact {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _find_artifact(cache_dir: Path, module_name: str) -> Optional[Path]:
+    """An already-built extension for this source hash, if present."""
+    for suffix in importlib.machinery.EXTENSION_SUFFIXES:
+        candidate = cache_dir / f"{module_name}{suffix}"
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def _build_extension(source: str, cache_dir: Path, module_name: str,
+                     backend: str) -> Optional[Path]:
+    """Compile ``source`` to a C extension under ``cache_dir``."""
+    from setuptools import Extension
+    from setuptools.dist import Distribution
+
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    src_path = cache_dir / f"{module_name}.py"
+    src_path.write_text(source, encoding="utf-8")
+    if backend == "cython":
+        from Cython.Build import cythonize
+
+        ext_modules = cythonize(
+            [Extension(module_name, [str(src_path)])],
+            quiet=True, language_level=3,
+            build_dir=str(cache_dir / "build"),
+        )
+    else:  # mypyc
+        from mypyc.build import mypycify
+
+        ext_modules = mypycify([str(src_path)])
+    dist = Distribution({"ext_modules": ext_modules})
+    cmd = dist.get_command_obj("build_ext")
+    cmd.build_lib = str(cache_dir)
+    cmd.build_temp = str(cache_dir / "build")
+    dist.run_command("build_ext")
+    return _find_artifact(cache_dir, module_name)
+
+
+def load_native_bind(source: str):
+    """``bind`` from a natively compiled module, or ``None``.
+
+    Every failure mode — no toolchain, no C compiler, a build error,
+    an unloadable artifact — degrades to ``None``; the spec kernel
+    then execs the same source in-process.  Results are cached per
+    source hash for the life of the process.
+    """
+    digest = sha256(source.encode("utf-8")).hexdigest()[:16]
+    if digest in _MODULE_CACHE:
+        module = _MODULE_CACHE[digest]
+        return getattr(module, "bind", None) if module else None
+    backend = native_backend()
+    if backend is None:
+        if native_enabled():
+            _note_degradation(
+                "no native toolchain (Cython or mypyc) importable")
+        _MODULE_CACHE[digest] = None
+        return None
+    module_name = f"repro_spec_{digest}"
+    try:
+        cache_dir = _cache_root()
+        artifact = _find_artifact(cache_dir, module_name)
+        if artifact is None:
+            artifact = _build_extension(source, cache_dir,
+                                        module_name, backend)
+        if artifact is None:
+            raise ImportError("native build produced no artifact")
+        module = _load_extension(artifact, module_name)
+        bind = module.bind
+    except Exception as exc:  # mandatory graceful degradation
+        _note_degradation(f"native build via {backend} failed ({exc})")
+        _MODULE_CACHE[digest] = None
+        return None
+    _MODULE_CACHE[digest] = module
+    return bind

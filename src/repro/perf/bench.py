@@ -19,13 +19,15 @@ Measures two things and writes both to ``BENCH_perf.json``:
   loop (:class:`repro.perf.legacy.PreFaultsExecutor`), proving the
   disabled faults subsystem is zero-cost (CI asserts the overhead
   stays under 2%);
-* **kernel microbenchmark** — the batched hot-loop backend
-  (:class:`repro.kernels.batch.BatchKernel`) vs. the reference
-  interpreter (:class:`repro.kernels.interp.InterpKernel`) on one
-  compute-heavy large-transaction trace, with an
-  identical-statistics cross-check (CI asserts ``speedup`` >= 3).
+* **kernel microbenchmark** — every registered hot-loop backend
+  (``interp`` / ``batch`` / ``spec``) on two contrasting traces: the
+  compute-heavy large-transaction trace (where run-length/bisect
+  advancement wins) and a memory-heavy short-run trace (where the
+  spec backend's fused generated loop wins), with identical-
+  statistics cross-checks (CI asserts ``spec`` >= 3x ``interp`` on
+  the compute trace and >= 1.25x ``batch`` on the memory trace).
 
-Schema of ``BENCH_perf.json`` (``repro-bench-perf/6``, documented in
+Schema of ``BENCH_perf.json`` (``repro-bench-perf/7``, documented in
 ``docs/performance.md``):
 
 ``schema``        schema identifier string;
@@ -45,11 +47,15 @@ Schema of ``BENCH_perf.json`` (``repro-bench-perf/6``, documented in
 ``faultbench``    trace_ops, rounds, prefaults/null ops-per-sec,
                   ``overhead`` (null wall / pre-faults wall) and an
                   identical-statistics cross-check;
-``kernelbench``   trace_ops, rounds, quantum, interp/batch
-                  ops-per-sec, ``speedup`` (median of paired
-                  per-round ratios), ``numpy`` availability, the
-                  batch backend's telemetry snapshot (``kernel``)
-                  and an identical-statistics cross-check;
+``kernelbench``   rounds, quantum, the kernel roster, ``numpy`` /
+                  ``native`` availability, a ``traces`` map with one
+                  entry per micro-trace (``compute`` and ``memory``:
+                  per-kernel ops/sec, ``speedup_vs_interp`` medians
+                  of paired per-round ratios, ``spec_vs_batch``, an
+                  identical-statistics cross-check), the headline
+                  ``speedup`` (compute-trace spec/interp, the
+                  regression-checked ratio) and the batch/spec
+                  telemetry snapshots (``kernel``);
 ``parallel``      optional serial-vs-parallel wall comparison
                   (``--compare-serial``) with a ``byte_identical``
                   stats check;
@@ -81,7 +87,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.experiments import Cell
 from repro.common.config import HTMConfig, RunConfig, SystemConfig
 from repro.common.vector import HAVE_NUMPY
-from repro.common.errors import IncompleteGridError
+from repro.common.errors import ConfigError, IncompleteGridError
 from repro.coherence.protocol import MemorySystem
 from repro.htm import make_htm
 from repro.kernels import resolve_kernel_name
@@ -122,7 +128,12 @@ from repro.workloads.trace import (
 #: interp vs batch SimulationKernel backends, per-kernel ops/sec and
 #: the CI-enforced speedup), ``config.kernel``, and ``kernels.*``
 #: metrics.
-BENCH_SCHEMA = "repro-bench-perf/6"
+#: /7: ``kernelbench`` compares *every* registered backend (now
+#: including ``spec``) on two micro-traces — the compute-heavy trace
+#: and a new memory-heavy short-run trace — under a ``traces`` map;
+#: the headline ``speedup`` became compute-trace spec/interp and the
+#: section gained ``native`` plus per-backend telemetry snapshots.
+BENCH_SCHEMA = "repro-bench-perf/7"
 
 #: Default output path, at the repo root like the other BENCH files.
 DEFAULT_OUT = "BENCH_perf.json"
@@ -507,9 +518,51 @@ KERNELBENCH_COMPUTE_CYCLES = 1
 #: (200 cycles) bounds every COMPUTE batch at 200 ops, so quantum
 #: bookkeeping — identical in both kernels — dominates the paired
 #: ratio.  1000-cycle quanta match the large-transaction regime the
-#: batch backend exists for; both kernels run under the same quantum,
+#: batch backend exists for; all kernels run under the same quantum,
 #: and the identical-statistics assert holds regardless.
 KERNELBENCH_QUANTUM = 1000
+
+#: Memory-heavy kernelbench trace shape (per thread): transactions
+#: whose body alternates granted accesses over a small private
+#: working set with singleton COMPUTEs.  This is the opposite regime
+#: from the compute trace: runs are short, so per-run overhead (an
+#: outer-loop re-entry, a bisect for a one-op COMPUTE batch,
+#: telemetry increments) is what differentiates the backends — the
+#: spec kernel's fused generated leaf loop pays none of it.
+KERNELBENCH_MEM_TXNS = 3
+KERNELBENCH_MEM_REPEATS = 600
+KERNELBENCH_MEM_BLOCKS = 8
+
+
+def kernel_mem_trace(threads: int = MICRO_THREADS,
+                     txns: int = KERNELBENCH_MEM_TXNS,
+                     repeats: int = KERNELBENCH_MEM_REPEATS,
+                     blocks: int = KERNELBENCH_MEM_BLOCKS
+                     ) -> WorkloadTrace:
+    """Deterministic conflict-free memory-heavy trace.
+
+    Disjoint per-thread block ranges (clear of the log region) keep
+    the run abort-free; the tiny working set makes repeat accesses
+    hit the read/write-set short circuits, so the hot-loop overhead
+    around each access is a large share of what is timed.
+    """
+    thread_traces = []
+    for tid in range(threads):
+        base = (tid + 1) << 12
+        ops = []
+        for t in range(txns):
+            ops.append((OP_BEGIN, 0))
+            for r in range(repeats):
+                b = (t + r) % blocks
+                ops.append((OP_READ, base + b))
+                ops.append((OP_COMPUTE, 1))
+                ops.append((OP_WRITE, base + b))
+                ops.append((OP_COMPUTE, 1))
+            ops.append((OP_COMMIT, 0))
+        thread_traces.append(ThreadTrace(tid, ops))
+    return WorkloadTrace("KernelMem", thread_traces,
+                         params={"threads": threads, "txns": txns,
+                                 "repeats": repeats, "blocks": blocks})
 
 
 def _kernel_run(kernel: str, trace, seed: int, quantum: int):
@@ -538,63 +591,118 @@ def _kernel_run(kernel: str, trace, seed: int, quantum: int):
     return wall, result.stats, executor.kernel_stats()
 
 
-def kernelbench(seed: int = 2008, rounds: int = 21,
-                scale: float = 1.0) -> Dict:
-    """Batch vs. interp :class:`~repro.kernels.base.SimulationKernel`
-    backends on one compute-heavy large-transaction trace.
+def _median(values) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    return ordered[mid] if len(ordered) % 2 else \
+        (ordered[mid - 1] + ordered[mid]) / 2
 
-    Both arms run the identical trace through the same scheduler at
-    the same (documented) quantum; the only difference is the
-    ``run_quantum`` implementation.  The two runs must produce
-    identical statistics (asserted — the backends' core contract),
-    and CI asserts ``speedup`` >= 3.
 
-    Like :func:`faultbench`, ``speedup`` is the *median of paired
-    per-round ratios* with alternating execution order, so machine
-    load drift hits both sides of a pair and cancels, where a
-    best-of-each-arm quotient would keep it.
+def _kernelbench_trace(trace, kernels, seed: int, rounds: int) -> Dict:
+    """All registered backends on one trace, paired per round.
+
+    Every round runs every kernel back-to-back in rotating order, so
+    machine-load drift hits all arms of a pair roughly equally and
+    cancels in the per-round ratios (the faultbench reasoning).  All
+    backends must produce identical statistics — asserted here, the
+    kernels' core contract.
     """
-    trace = micro_trace(txns=max(1, int(KERNELBENCH_TXNS * scale)),
-                        computes=KERNELBENCH_COMPUTES,
-                        compute_cycles=KERNELBENCH_COMPUTE_CYCLES)
     ops = trace.total_ops()
-    _kernel_run("batch", trace, seed, KERNELBENCH_QUANTUM)  # warmup
-    best = {"interp": float("inf"), "batch": float("inf")}
-    stats = {"interp": None, "batch": None}
-    batch_snapshot = None
-    ratios = []
+    kernels = list(kernels)
+    reference = kernels[0]
+    _kernel_run(kernels[-1], trace, seed, KERNELBENCH_QUANTUM)  # warmup
+    best = {name: float("inf") for name in kernels}
+    stats = {name: None for name in kernels}
+    snapshots = {}
+    ratios = {name: [] for name in kernels[1:]}
+    spec_vs_batch = []
     for i in range(max(1, rounds)):
-        order = ("interp", "batch") if i % 2 == 0 \
-            else ("batch", "interp")
+        rot = i % len(kernels)
+        order = kernels[rot:] + kernels[:rot]
         walls = {}
         for name in order:
             walls[name], run_stats, kstats = _kernel_run(
                 name, trace, seed, KERNELBENCH_QUANTUM)
             if walls[name] < best[name]:
                 best[name], stats[name] = walls[name], run_stats
-                if name == "batch":
-                    batch_snapshot = kstats
-        ratios.append(walls["interp"] / walls["batch"])
-    if stats["interp"].snapshot() != stats["batch"].snapshot():
-        raise AssertionError(
-            "interp and batch kernels diverged on the kernelbench trace"
-        )
-    ratios.sort()
-    mid = len(ratios) // 2
-    speedup = ratios[mid] if len(ratios) % 2 else \
-        (ratios[mid - 1] + ratios[mid]) / 2
+                snapshots[name] = kstats
+        for name in kernels[1:]:
+            ratios[name].append(walls[reference] / walls[name])
+        if "batch" in walls and "spec" in walls:
+            spec_vs_batch.append(walls["batch"] / walls["spec"])
+    reference_snapshot = stats[reference].snapshot()
+    for name in kernels[1:]:
+        if stats[name].snapshot() != reference_snapshot:
+            raise AssertionError(
+                f"{name} and {reference} kernels diverged on the "
+                f"kernelbench trace {trace.name!r}"
+            )
     return {
         "trace_ops": ops,
+        "wall_seconds": {name: best[name] for name in kernels},
+        "ops_per_sec": {name: ops / best[name] for name in kernels},
+        "speedup_vs_interp": {name: _median(ratios[name])
+                              for name in kernels[1:]},
+        "spec_vs_batch": (_median(spec_vs_batch)
+                          if spec_vs_batch else None),
+        "identical_stats": True,
+        "kernel": snapshots,
+    }
+
+
+def kernelbench(seed: int = 2008, rounds: int = 21,
+                scale: float = 1.0) -> Dict:
+    """Every registered :class:`~repro.kernels.base.SimulationKernel`
+    backend on two contrasting micro-traces.
+
+    The *compute* trace (large transactions, 20k-op COMPUTE runs) is
+    the regime the batch/spec run-length advancement targets; CI
+    asserts spec >= 3x interp there.  The *memory* trace (short
+    granted-access runs interleaved with singleton COMPUTEs) times
+    the per-access loop overhead instead; CI asserts spec >= 1.25x
+    batch there — the specializer's fused leaf loop is what that
+    ratio measures.  All backends must produce identical statistics
+    on both traces (asserted).
+
+    Like :func:`faultbench`, every ratio is the *median of paired
+    per-round ratios* with rotating execution order, so machine load
+    drift hits all arms of a pair and cancels, where a
+    best-of-each-arm quotient would keep it.
+    """
+    from repro.kernels import KERNEL_NAMES
+
+    kernels = list(KERNEL_NAMES)
+    traces = {
+        "compute": micro_trace(
+            txns=max(1, int(KERNELBENCH_TXNS * scale)),
+            computes=KERNELBENCH_COMPUTES,
+            compute_cycles=KERNELBENCH_COMPUTE_CYCLES),
+        "memory": kernel_mem_trace(
+            repeats=max(1, int(KERNELBENCH_MEM_REPEATS * scale))),
+    }
+    per_trace = {
+        name: _kernelbench_trace(trace, kernels, seed, rounds)
+        for name, trace in traces.items()
+    }
+    compute = per_trace["compute"]
+    spec_snapshot = compute["kernel"].get("spec") or {}
+    headline = compute["speedup_vs_interp"].get(
+        kernels[-1] if len(kernels) > 1 else kernels[0])
+    return {
         "rounds": rounds,
         "quantum": KERNELBENCH_QUANTUM,
-        "interp_wall_seconds": best["interp"],
-        "batch_wall_seconds": best["batch"],
-        "interp_ops_per_sec": ops / best["interp"],
-        "batch_ops_per_sec": ops / best["batch"],
-        "speedup": speedup,
+        "kernels": kernels,
         "numpy": HAVE_NUMPY,
-        "identical_stats": True,
-        "kernel": batch_snapshot,
+        "native": bool(spec_snapshot.get("native")),
+        "traces": per_trace,
+        # The headline regression-checked ratio: compute-trace
+        # spec/interp (the newest backend against the reference).
+        "speedup": headline,
+        "identical_stats": all(t["identical_stats"]
+                               for t in per_trace.values()),
+        "kernel": {name: snap
+                   for name, snap in compute["kernel"].items()
+                   if name != "interp"},
     }
 
 
@@ -683,6 +791,13 @@ def baseline_warnings(fresh: Dict, baseline: Dict) -> List[str]:
 # Top-level harness
 # ----------------------------------------------------------------------
 
+#: ``--only`` section names.  ``grid`` covers the cell grid (and the
+#: totals/parallel blocks derived from it); the rest are the
+#: microbenchmark sections.
+BENCH_SECTIONS = ("grid", "microbench", "membench", "faultbench",
+                  "kernelbench")
+
+
 def bench_specs(quick: bool = False, seed: int = 2008,
                 workload_names: Optional[Sequence[str]] = None,
                 variants: Optional[Sequence[str]] = None,
@@ -744,16 +859,41 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
               fast_path: bool = True,
               traces: bool = True,
               kernel: Optional[str] = None,
+              only: Optional[Sequence[str]] = None,
               supervisor: Optional[SupervisorConfig] = None) -> Dict:
-    """Run the harness and write ``BENCH_perf.json``; returns payload."""
+    """Run the harness and write ``BENCH_perf.json``; returns payload.
+
+    ``only`` restricts the run to the named :data:`BENCH_SECTIONS`
+    (repeatable on the CLI as ``--only SECTION``); every other
+    section lands as ``null`` in the payload, which the baseline
+    comparison reports as a warning, not an error.
+    """
+    if only:
+        unknown = sorted(set(only) - set(BENCH_SECTIONS))
+        if unknown:
+            raise ConfigError(
+                f"unknown bench section(s) {', '.join(unknown)}; "
+                f"available: {', '.join(BENCH_SECTIONS)}"
+            )
+        selected = set(only)
+        micro = micro and "microbench" in selected
+        membench = membench and "membench" in selected
+        faultbench = faultbench and "faultbench" in selected
+        kernelbench = kernelbench and "kernelbench" in selected
+        grid_on = "grid" in selected
+    else:
+        grid_on = True
     kernel_name = resolve_kernel_name(kernel)
     specs = bench_specs(quick=quick, seed=seed,
                         workload_names=workload_names, variants=variants,
                         scale_factor=scale_factor, fast_path=fast_path,
                         traces=traces, kernel=kernel_name)
-    cache = ResultCache(cache_dir) if cache_dir else None
-    grid, metrics = run_grid(specs, workers=workers, cache=cache,
-                             supervisor=supervisor)
+    if grid_on:
+        cache = ResultCache(cache_dir) if cache_dir else None
+        grid, metrics = run_grid(specs, workers=workers, cache=cache,
+                                 supervisor=supervisor)
+    else:
+        grid, metrics = None, {}
     mem_payload = None
     if membench:
         # Deliberately NOT scaled down under --quick: the whole run
@@ -772,12 +912,27 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
         kernel_payload = _kernelbench(seed=seed,
                                       rounds=max(21, micro_rounds))
         metrics = dict(metrics)
-        metrics.update(
-            publish_kernels("batch", kernel_payload["kernel"]).snapshot()
-        )
-    total_ops = sum(c.get("trace_ops", 0) for c in grid["cells"])
-    timed_walls = [c["wall_seconds"] for c in grid["cells"]
-                   if c.get("wall_seconds")]
+        reg = None
+        for kname, snap in sorted(kernel_payload["kernel"].items()):
+            reg = publish_kernels(kname, snap, registry=reg)
+        if reg is not None:
+            metrics.update(reg.snapshot())
+    if grid is not None:
+        total_ops = sum(c.get("trace_ops", 0) for c in grid["cells"])
+        timed_walls = [c["wall_seconds"] for c in grid["cells"]
+                       if c.get("wall_seconds")]
+        totals = {
+            "cells": len(grid["cells"]),
+            "trace_ops": total_ops,
+            "wall_seconds": grid["wall_seconds"],
+            "sim_ops_per_sec": (total_ops / grid["wall_seconds"]
+                                if grid["wall_seconds"] else None),
+            "cell_wall_seconds_sum": sum(timed_walls),
+        }
+        scales = {c["workload"]: c["scale"] for c in grid["cells"]}
+    else:
+        totals = None
+        scales = None
     payload = {
         "schema": BENCH_SCHEMA,
         "unix_time": int(time.time()),
@@ -789,20 +944,13 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
             "fast_path": fast_path,
             "kernel": kernel_name,
             "cache_dir": cache_dir,
-            "scales": {c["workload"]: c["scale"] for c in grid["cells"]},
+            "scales": scales,
             "traces": sorted({s.workload.name for s in specs
                               if isinstance(s.workload,
                                             TraceWorkloadSpec)}),
         },
         "grid": grid,
-        "totals": {
-            "cells": len(grid["cells"]),
-            "trace_ops": total_ops,
-            "wall_seconds": grid["wall_seconds"],
-            "sim_ops_per_sec": (total_ops / grid["wall_seconds"]
-                                if grid["wall_seconds"] else None),
-            "cell_wall_seconds_sum": sum(timed_walls),
-        },
+        "totals": totals,
         "microbench": (microbench(seed=seed, rounds=micro_rounds,
                                   scale=0.5 if quick else 1.0)
                        if micro else None),
@@ -814,7 +962,8 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
                        if faultbench else None),
         "kernelbench": kernel_payload,
         "parallel": (compare_serial_parallel(specs, workers)
-                     if compare_serial and workers > 1 else None),
+                     if compare_serial and workers > 1 and grid_on
+                     else None),
         "metrics": metrics,
     }
     Path(out).write_text(json.dumps(payload, indent=2) + "\n",
@@ -825,12 +974,16 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
 def format_bench_summary(payload: Dict) -> str:
     """Human-readable digest of a bench payload for the CLI."""
     lines = []
-    totals = payload["totals"]
-    lines.append(
-        f"grid: {totals['cells']} cells, {totals['trace_ops']} trace ops "
-        f"in {totals['wall_seconds']:.2f}s wall "
-        f"({(totals['sim_ops_per_sec'] or 0):,.0f} ops/sec)"
-    )
+    totals = payload.get("totals")
+    if totals:
+        lines.append(
+            f"grid: {totals['cells']} cells, "
+            f"{totals['trace_ops']} trace ops "
+            f"in {totals['wall_seconds']:.2f}s wall "
+            f"({(totals['sim_ops_per_sec'] or 0):,.0f} ops/sec)"
+        )
+    else:
+        lines.append("grid: skipped (--only)")
     report = (payload.get("grid") or {}).get("report") or {}
     if report.get("failed"):
         lines.append(
@@ -865,11 +1018,22 @@ def format_bench_summary(payload: Dict) -> str:
         )
     kb = payload.get("kernelbench")
     if kb:
+        for trace_name, tr in sorted(kb["traces"].items()):
+            vs_interp = ", ".join(
+                f"{name} {ratio:.2f}x"
+                for name, ratio in sorted(
+                    tr["speedup_vs_interp"].items())
+            )
+            extra = ""
+            if tr.get("spec_vs_batch") is not None:
+                extra = f", spec/batch {tr['spec_vs_batch']:.2f}x"
+            lines.append(
+                f"kernels[{trace_name}]: vs interp {vs_interp}{extra} "
+                f"(identical={tr['identical_stats']})"
+            )
         lines.append(
-            f"kernels: batch {kb['batch_ops_per_sec']:,.0f} ops/sec "
-            f"vs interp {kb['interp_ops_per_sec']:,.0f} "
-            f"(speedup {kb['speedup']:.2f}x, numpy={kb['numpy']}, "
-            f"identical={kb['identical_stats']})"
+            f"kernels: headline speedup {kb['speedup']:.2f}x, "
+            f"numpy={kb['numpy']}, native={kb['native']}"
         )
     par = payload.get("parallel")
     if par:

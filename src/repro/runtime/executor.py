@@ -364,6 +364,14 @@ class Executor:
         """Name of the active hot-loop backend."""
         return self._kernel.name
 
+    @property
+    def kernel_source(self) -> Optional[str]:
+        """Generated source of a code-generating backend (``spec``),
+        ``None`` for the hand-written loops.  Embedded in chaos repro
+        bundles so a violation under a specialized kernel ships the
+        exact loop that ran."""
+        return getattr(self._kernel, "source", None)
+
     def kernel_stats(self) -> Dict[str, int]:
         """The backend's own telemetry (published as ``kernels.*``
         metrics); strictly outside RunStats so every backend reports

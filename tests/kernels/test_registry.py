@@ -15,10 +15,13 @@ from repro.kernels import (
 from repro.kernels.base import SimulationKernel
 from repro.kernels.batch import BatchKernel
 from repro.kernels.interp import InterpKernel
+from repro.kernels.spec import SpecKernel
 
 
 def test_registry_names():
-    assert set(KERNEL_NAMES) == set(KERNELS) == {"interp", "batch"}
+    assert set(KERNEL_NAMES) == set(KERNELS) == {"interp", "batch",
+                                                 "spec"}
+    assert KERNEL_NAMES[0] == "interp"  # reference kernel leads
     assert DEFAULT_KERNEL == "interp"
     for name, cls in KERNELS.items():
         assert cls.name == name
@@ -51,6 +54,7 @@ def test_make_kernel(monkeypatch):
     monkeypatch.delenv(ENV_KERNEL, raising=False)
     assert isinstance(make_kernel(), InterpKernel)
     assert isinstance(make_kernel("batch"), BatchKernel)
+    assert isinstance(make_kernel("spec"), SpecKernel)
 
 
 def test_executor_reports_its_kernel(monkeypatch):
@@ -76,11 +80,36 @@ def test_executor_reports_its_kernel(monkeypatch):
     # RunConfig.kernel is the fallback; the explicit argument wins.
     assert build(config_kernel="batch").kernel == "batch"
     assert build(kernel="interp", config_kernel="batch").kernel == "interp"
+    assert build(kernel="spec").kernel == "spec"
     # A pre-built kernel instance is adopted as-is.
     instance = BatchKernel()
     executor = build(kernel=instance)
     assert executor.kernel == "batch"
     assert executor.kernel_stats() == instance.snapshot()
+
+
+def test_executor_kernel_source_exposure(monkeypatch):
+    from repro.common.config import HTMConfig, SystemConfig
+    from repro.coherence.protocol import MemorySystem
+    from repro.htm import make_htm
+    from repro.runtime.executor import Executor
+    from repro.workloads import cholesky
+
+    monkeypatch.delenv(ENV_KERNEL, raising=False)
+    trace = cholesky().generate(seed=1, scale=0.002, threads=4)
+    system = SystemConfig()
+
+    def build(kernel):
+        machine = make_htm("TokenTM", MemorySystem(system), HTMConfig())
+        return Executor(machine, trace, RunConfig(system=system),
+                        validate=False, track_history=False,
+                        kernel=kernel)
+
+    # Hand-written loops have no generated source to embed.
+    assert build("interp").kernel_source is None
+    assert build("batch").kernel_source is None
+    source = build("spec").kernel_source
+    assert source and "def run_quantum" in source
 
 
 def test_cellspec_payload_and_cache_key_separate_kernels(tmp_path):
@@ -92,12 +121,17 @@ def test_cellspec_payload_and_cache_key_separate_kernels(tmp_path):
     interp_spec = CellSpec(spec, "TokenTM", seed=1, scale=0.002)
     batch_spec = CellSpec(spec, "TokenTM", seed=1, scale=0.002,
                           kernel="batch")
+    spec_spec = CellSpec(spec, "TokenTM", seed=1, scale=0.002,
+                         kernel="spec")
     assert interp_spec.payload()["kernel"] == "interp"
     assert batch_spec.payload()["kernel"] == "batch"
+    assert spec_spec.payload()["kernel"] == "spec"
     # Backends must never share cache entries: a cross-kernel
     # verification answered from the other backend's cache would
     # prove nothing.
-    assert cell_key(interp_spec) != cell_key(batch_spec)
+    keys = {cell_key(interp_spec), cell_key(batch_spec),
+            cell_key(spec_spec)}
+    assert len(keys) == 3
     cache = ResultCache(tmp_path)
     assert cell_key(interp_spec) not in cache
 
@@ -115,14 +149,64 @@ def test_grid_specs_resolve_kernel(monkeypatch):
 
 
 def test_metrics_preregistered_at_zero():
-    from repro.obs.metrics import KERNEL_COUNTERS, publish_kernels
+    from repro.obs.metrics import (
+        KERNEL_COUNTERS,
+        KERNEL_GAUGES,
+        publish_kernels,
+    )
 
     reg = publish_kernels("batch", {"quanta": 3, "numpy": 1})
     snap = reg.snapshot()
     assert set(KERNEL_COUNTERS) <= set(snap)
+    assert set(KERNEL_GAUGES) <= set(snap)
     assert snap["kernels.batch.quanta"]["value"] == 3
     assert snap["kernels.batch.numpy"]["value"] == 1
     assert snap["kernels.batch.mem_runs"]["value"] == 0
     # An interp-only run still exposes the full key set, all zero.
     interp = publish_kernels("interp", {"quanta": 5}).snapshot()
     assert all(interp[name]["value"] == 0 for name in KERNEL_COUNTERS)
+    assert all(interp[name]["value"] == 0 for name in KERNEL_GAUGES)
+
+
+def test_spec_metrics_route_gauges_and_counters():
+    from repro.obs.metrics import KERNEL_GAUGES, publish_kernels
+
+    reg = publish_kernels("batch", {"quanta": 4, "numpy": 0})
+    publish_kernels("spec", {"native": 0, "quanta": 4,
+                             "codegen_ms": 1.25, "compile_ms": 0.5,
+                             "source_bytes": 2000, "columns_built": 2},
+                    registry=reg)
+    snap = reg.snapshot()
+    # Milliseconds keep their fraction: gauges, not int counters.
+    assert snap["kernels.spec.codegen_ms"]["type"] == "gauge"
+    assert snap["kernels.spec.codegen_ms"]["value"] == 1.25
+    assert snap["kernels.spec.native"]["type"] == "gauge"
+    assert snap["kernels.spec.quanta"]["type"] == "counter"
+    assert snap["kernels.spec.quanta"]["value"] == 4
+    assert snap["kernels.batch.quanta"]["value"] == 4
+    assert set(KERNEL_GAUGES) <= set(snap)
+
+
+def test_kernel_info_reports_registry_and_availability(monkeypatch):
+    from repro.kernels import kernel_info
+
+    monkeypatch.delenv(ENV_KERNEL, raising=False)
+    info = kernel_info()
+    assert info["default"] == "interp"
+    assert info["env"] is None
+    assert info["selected"] == "interp"
+    rows = {row["name"]: row for row in info["kernels"]}
+    assert set(rows) == set(KERNEL_NAMES)
+    assert rows["interp"]["default"] and rows["interp"]["selected"]
+    assert isinstance(rows["batch"]["numpy"], bool)
+    spec_row = rows["spec"]
+    assert isinstance(spec_row["native"], bool)
+    assert spec_row["native_backend"] in (None, "cython", "mypyc")
+    assert spec_row["description"]
+
+    monkeypatch.setenv(ENV_KERNEL, "spec")
+    info = kernel_info()
+    assert info["env"] == "spec"
+    assert info["selected"] == "spec"
+    rows = {row["name"]: row for row in info["kernels"]}
+    assert rows["spec"]["selected"] and not rows["interp"]["selected"]

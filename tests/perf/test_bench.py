@@ -75,6 +75,7 @@ def test_run_bench_writes_schema_documented_json(tmp_path):
         out=str(out), quick=True, workload_names=("Cholesky",),
         variants=("TokenTM",), scale_factor=0.5, traces=False,
         cache_dir=str(tmp_path / "cache"), micro=False, membench=False,
+        kernelbench=False,
     )
     on_disk = json.loads(out.read_text())
     assert on_disk == payload
@@ -95,6 +96,7 @@ def test_run_bench_writes_schema_documented_json(tmp_path):
         out=str(out), quick=True, workload_names=("Cholesky",),
         variants=("TokenTM",), scale_factor=0.5, traces=False,
         cache_dir=str(tmp_path / "cache"), micro=False, membench=False,
+        kernelbench=False,
     )
     warm = rerun["grid"]["cells"][0]
     assert warm["cache_hit"] is True
@@ -108,7 +110,7 @@ def test_run_bench_micro_section(tmp_path):
     payload = run_bench(
         out=str(out), quick=True, workload_names=("Cholesky",),
         variants=("TokenTM",), scale_factor=0.25, micro=True,
-        micro_rounds=1, membench=False,
+        micro_rounds=1, membench=False, kernelbench=False,
     )
     micro = payload["microbench"]
     assert micro["trace_ops"] > 0
@@ -144,7 +146,7 @@ def test_run_bench_membench_section(tmp_path):
     payload = run_bench(
         out=str(out), quick=True, workload_names=("Cholesky",),
         variants=("TokenTM",), scale_factor=0.25, micro=False,
-        micro_rounds=1, membench=True,
+        micro_rounds=1, membench=True, kernelbench=False,
     )
     mem = payload["membench"]
     assert mem["identical_stats"] is True
@@ -154,6 +156,96 @@ def test_run_bench_membench_section(tmp_path):
     # The fast-path counters reach the artifact's metrics section.
     metrics = payload["metrics"]
     assert metrics["perf.fastpath.htm_read_hits"]["value"] > 0
+
+
+def test_kernelbench_schema7_shape():
+    from repro.kernels import KERNEL_NAMES
+    from repro.perf.bench import kernelbench
+
+    kb = kernelbench(rounds=1, scale=0.05)
+    assert kb["kernels"] == list(KERNEL_NAMES)
+    assert set(kb["traces"]) == {"compute", "memory"}
+    for tr in kb["traces"].values():
+        assert tr["trace_ops"] > 0
+        assert set(tr["wall_seconds"]) == set(KERNEL_NAMES)
+        assert set(tr["ops_per_sec"]) == set(KERNEL_NAMES)
+        assert set(tr["speedup_vs_interp"]) == {"batch", "spec"}
+        assert tr["spec_vs_batch"] > 0
+        assert tr["identical_stats"] is True
+    assert kb["identical_stats"] is True
+    # Headline ratio = compute-trace spec vs interp (the
+    # regression-checked number).
+    assert kb["speedup"] == \
+        kb["traces"]["compute"]["speedup_vs_interp"]["spec"]
+    assert set(kb["kernel"]) == {"batch", "spec"}
+    assert kb["kernel"]["spec"]["quanta"] > 0
+    assert isinstance(kb["native"], bool)
+
+
+def test_run_bench_only_sections(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    payload = run_bench(
+        out=str(out), quick=True, only=["membench"], micro_rounds=1,
+    )
+    assert payload["grid"] is None
+    assert payload["totals"] is None
+    assert payload["config"]["scales"] is None
+    assert payload["microbench"] is None
+    assert payload["faultbench"] is None
+    assert payload["kernelbench"] is None
+    assert payload["membench"]["identical_stats"] is True
+    on_disk = json.loads(out.read_text())
+    assert on_disk == payload
+    # The skipped sections warn (not fail) against a full baseline.
+    from repro.perf.bench import baseline_warnings
+
+    baseline = {"schema": BENCH_SCHEMA,
+                "microbench": {"speedup": 2.0},
+                "membench": {"speedup": 1.6},
+                "kernelbench": {"speedup": 3.5}}
+    assert check_regression(payload, baseline) == []
+    warnings = baseline_warnings(payload, baseline)
+    assert any("microbench" in w for w in warnings)
+    assert any("kernelbench" in w for w in warnings)
+    assert not any("membench" in w for w in warnings)
+
+
+def test_run_bench_only_rejects_unknown_section(tmp_path):
+    import pytest
+
+    from repro.common.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="grid"):
+        run_bench(out=str(tmp_path / "b.json"), quick=True,
+                  only=["microbench", "gird"])
+
+
+def test_format_bench_summary_handles_skipped_grid(tmp_path):
+    from repro.perf.bench import format_bench_summary
+
+    payload = run_bench(
+        out=str(tmp_path / "b.json"), quick=True, only=["membench"],
+        micro_rounds=1,
+    )
+    summary = format_bench_summary(payload)
+    assert "grid: skipped" in summary
+    assert "memory stack" in summary
+
+
+def test_kernel_mem_trace_is_conflict_free_and_short_compute():
+    from repro.kernels.codegen import LONG_COMPUTE_RUN
+    from repro.perf.bench import kernel_mem_trace
+
+    trace = kernel_mem_trace(repeats=32)
+    stats = _run(Executor, trace)
+    assert stats.aborts == 0
+    assert stats.commits > 0
+    run = best = 0
+    for thread in trace.threads:
+        for op, _ in thread.ops:
+            run = run + 1 if op == 6 else 0
+            best = max(best, run)
+    assert 0 < best < LONG_COMPUTE_RUN
 
 
 def test_check_regression_compares_ratios(tmp_path):
