@@ -27,6 +27,11 @@ Commands map one-to-one onto the paper's experiments:
 * ``figure5``  — the main performance comparison;
 * ``bench``    — the performance benchmark harness
   (``BENCH_perf.json``; see ``docs/performance.md``);
+* ``audit``    — verify the result landscape's outcome ledger
+  (every dispatched unit reached exactly one terminal outcome;
+  ``--selftest`` proves the audit catches seeded violations);
+* ``query``    — regression trajectories across the landscape's
+  trusted bench runs, with a tolerance gate on the latest step;
 * ``variants`` — list the available HTM variants;
 * ``kernels``  — list the kernel backends and what each can use on
   this host (numpy, native toolchain, default/env selection).
@@ -44,6 +49,12 @@ survive hung or dying workers (``docs/robustness.md``, "Surviving
 the host").  ``chaos`` checkpoints campaigns with
 ``--journal``/``--resume``/``--max-cells``; an interrupted campaign
 exits 3 and resumes from the last finished cell.
+
+``bench`` and ``chaos`` take ``--landscape DB`` to record every run
+(and every cell within it) into the durable result landscape
+(``docs/landscape.md``); ``audit`` and ``query`` read it back.  Each
+command's exit-code contract is spelled out in its ``--help`` epilog
+and collected in ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -503,13 +514,48 @@ def cmd_figure5(args) -> int:
                    "(speedup vs LogTM-SE_Perf)")
 
 
+def _landscape_baseline(db_path):
+    """Resolve ``--baseline landscape``: ``(payload, problem)``.
+
+    Read-only and resolved *before* the fresh run starts, so the
+    comparison is always against the newest trusted run that already
+    existed — never against the run being measured.
+    """
+    from repro.landscape import LandscapeStore, latest_baseline
+
+    db = db_path or "landscape.db"
+    try:
+        with LandscapeStore(db, readonly=True) as store:
+            payload = latest_baseline(store)
+    except ConfigError as exc:
+        return None, f"{exc}; comparison skipped"
+    if payload is None:
+        return None, (f"landscape store {db} has no trusted bench run "
+                      "yet; comparison skipped")
+    return payload, None
+
+
 def cmd_bench(args) -> int:
-    from repro.perf.bench import format_bench_summary, run_bench
+    from repro.perf.bench import (
+        format_bench_summary,
+        load_baseline,
+        run_bench,
+    )
     from repro.perf.runner import default_workers
 
     workers = args.workers
     if workers < 0:
         workers = default_workers()
+    # Resolve the baseline up front: a bad baseline must warn, not
+    # traceback — and never after minutes of benchmarking.
+    baseline = problem = None
+    baseline_label = args.baseline
+    if args.baseline == "landscape":
+        baseline, problem = _landscape_baseline(args.landscape)
+        baseline_label = (f"landscape store "
+                          f"{args.landscape or 'landscape.db'}")
+    elif args.baseline:
+        baseline, problem = load_baseline(args.baseline)
     try:
         payload = run_bench(
             out=args.out, quick=args.quick, seed=args.seed,
@@ -525,6 +571,7 @@ def cmd_bench(args) -> int:
             kernel=args.kernel,
             only=args.only,
             supervisor=_supervisor_from_args(args),
+            landscape=args.landscape,
         )
     except IncompleteGridError as exc:
         _print_incomplete(exc)
@@ -540,13 +587,11 @@ def cmd_bench(args) -> int:
               "(details in the report above)", file=sys.stderr)
         rc = 1
     if args.baseline:
-        from repro.perf.bench import (
-            baseline_warnings,
-            check_regression,
-            load_bench,
-        )
+        if baseline is None:
+            print(f"warning: {problem}", file=sys.stderr)
+            return rc
+        from repro.perf.bench import baseline_warnings, check_regression
 
-        baseline = load_bench(args.baseline)
         for warning in baseline_warnings(payload, baseline):
             print(f"warning: {warning}", file=sys.stderr)
         failures = check_regression(payload, baseline,
@@ -555,7 +600,7 @@ def cmd_bench(args) -> int:
             for failure in failures:
                 print(f"REGRESSION: {failure}", file=sys.stderr)
             return 1
-        print(f"no regression vs {args.baseline} "
+        print(f"no regression vs {baseline_label} "
               f"(tolerance {args.regression_tolerance:.0%})")
     return rc
 
@@ -616,6 +661,19 @@ def cmd_chaos(args) -> int:
               f"{len(seeds)} seeds, plan {plan.content_hash()} "
               f"({len(plan)} specs)"
               + (f", mutant {args.mutant}" if args.mutant else ""))
+    store = recorder = None
+    if args.landscape:
+        from repro.landscape.store import LandscapeStore, current_git_rev
+        from repro.perf.cache import CACHE_SCHEMA
+
+        store = LandscapeStore(args.landscape)
+        recorder = store.begin_run(
+            "chaos", label=subject, git_rev=current_git_rev(),
+            cache_schema=CACHE_SCHEMA, kernel=args.kernel,
+            seed=args.seed_base,
+            provenance={"variants": variants, "seeds": len(seeds),
+                        "plan": plan.content_hash(),
+                        "mutant": args.mutant})
     try:
         with flush_on_signals(journal):
             result = run_campaign(
@@ -626,10 +684,25 @@ def cmd_chaos(args) -> int:
                 progress=None if args.json else progress,
                 journal=journal, max_cells=args.max_cells,
                 trace_file=args.trace_file, kernel=args.kernel,
+                recorder=recorder,
             )
+        if recorder is not None:
+            status = ("interrupted" if result.interrupted
+                      else "ok" if result.ok else "failed")
+            recorder.finish(status, payload=result.summary())
+    except (KeyboardInterrupt, SystemExit):
+        if recorder is not None:
+            recorder.finish("interrupted")
+        raise
+    except BaseException:
+        if recorder is not None:
+            recorder.finish("failed")
+        raise
     finally:
         if journal is not None:
             journal.close()
+        if store is not None:
+            store.close()
     summary = result.summary()
     if args.json:
         print(json.dumps(summary, indent=2))
@@ -654,6 +727,91 @@ def cmd_chaos(args) -> int:
         return 1
     if not args.json:
         print("chaos: all invariants held")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    import os
+
+    if args.selftest:
+        import tempfile
+
+        from repro.landscape import format_selftest, run_selftest
+
+        with tempfile.TemporaryDirectory() as scratch:
+            results = run_selftest(scratch)
+        print(format_selftest(results))
+        return 0 if all(r.caught for r in results) else 1
+
+    from repro.landscape import LandscapeStore, audit_store, format_audit
+
+    if args.readonly:
+        try:
+            store = LandscapeStore(args.db, readonly=True)
+        except ConfigError as exc:
+            print(f"audit: {exc}", file=sys.stderr)
+            return 2
+    else:
+        # A read-write open of a missing path would create an empty
+        # store and vacuously pass; auditing nothing is exit 2.
+        if not os.path.exists(args.db):
+            print(f"audit: no landscape store at {args.db}",
+                  file=sys.stderr)
+            return 2
+        store = LandscapeStore(args.db)
+        if store.quarantined:
+            print(f"audit: {args.db} was unreadable and has been "
+                  f"quarantined to {args.db}.corrupt", file=sys.stderr)
+            store.close()
+            return 2
+        if store.healed_runs:
+            print(f"audit: healed {store.healed_runs} run(s) left open "
+                  "by a dead writer (their unfinished work is now "
+                  "honestly interrupted)", file=sys.stderr)
+    with store:
+        findings = audit_store(store)
+        print(format_audit(store, findings))
+    return 1 if findings else 0
+
+
+def cmd_query(args) -> int:
+    from repro.landscape import (
+        LandscapeStore,
+        format_trajectory,
+        section_deltas,
+        trajectory_regressions,
+        trusted_bench_runs,
+    )
+
+    try:
+        store = LandscapeStore(args.db, readonly=True)
+    except ConfigError as exc:
+        print(f"query: {exc}", file=sys.stderr)
+        return 2
+    with store:
+        points = trusted_bench_runs(store)
+    failures = trajectory_regressions(points, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps({
+            "points": [
+                {"run_id": p.run_id, "git_rev": p.git_rev,
+                 "bench_schema": p.bench_schema,
+                 "started_unix": p.started_unix,
+                 "speedups": p.speedups,
+                 "grid_ops_per_sec": p.grid_ops_per_sec}
+                for p in points
+            ],
+            "deltas": {k: list(v)
+                       for k, v in section_deltas(points).items()},
+            "tolerance": args.tolerance,
+            "regressions": failures,
+        }, indent=2))
+    else:
+        print(format_trajectory(points, failures))
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -719,7 +877,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="machine-readable report")
     kernels_p.set_defaults(func=cmd_kernels)
 
-    run_p = sub.add_parser("run", help="run one workload on one variant")
+    run_p = sub.add_parser(
+        "run", help="run one workload on one variant",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes: 0 run finished (and every --monitor "
+               "invariant held); 1 invariant violation")
     run_p.add_argument("workload", nargs="?", default=None,
                        help="Table 5 workload name (omit when "
                             "replaying with --trace-file)")
@@ -748,7 +910,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.set_defaults(func=cmd_run)
 
     chaos_p = sub.add_parser(
-        "chaos", help="fault-injection campaign (seeds x variants)")
+        "chaos", help="fault-injection campaign (seeds x variants)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes: 0 all invariants held; 1 invariant "
+               "violations (or a --replay mismatch); 2 unusable "
+               "journal (stale/foreign; rerun without --resume or "
+               "point --journal elsewhere); 3 campaign interrupted "
+               "(--max-cells or signal) — resumable with --resume")
     chaos_p.add_argument("--workload", default="Cholesky",
                          help="Table 5 workload name")
     chaos_p.add_argument("--variants", default="tokentm,logtm_se,onetm",
@@ -787,6 +955,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--max-cells", type=int, default=None,
                          help="simulate at most N new cells, then "
                               "stop with exit code 3 (resumable)")
+    chaos_p.add_argument("--landscape", metavar="DB", default=None,
+                         help="record the campaign (one work row per "
+                              "cell, incl. resumed ones) into this "
+                              "landscape store (docs/landscape.md)")
     chaos_p.add_argument("--trace-file", metavar="EVENTS", default=None,
                          help="run the campaign over a replayed event "
                               "trace (transactified) instead of "
@@ -893,7 +1065,13 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.perf.bench import BENCH_SECTIONS
 
     bench_p = sub.add_parser(
-        "bench", help="performance benchmark harness (BENCH_perf.json)")
+        "bench", help="performance benchmark harness (BENCH_perf.json)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes: 0 bench complete (and within tolerance "
+               "when --baseline is given); 1 grid cells failed or a "
+               "regression exceeded the tolerance.  A missing, "
+               "truncated, or invalid baseline file warns and skips "
+               "the comparison — it never fails the run.")
     bench_p.add_argument("--out", metavar="FILE", default="BENCH_perf.json")
     bench_p.add_argument("--quick", action="store_true",
                          help="small CI-sized grid and microbenchmark")
@@ -931,13 +1109,64 @@ def build_parser() -> argparse.ArgumentParser:
                               "and only warn under --baseline")
     bench_p.add_argument("--baseline", metavar="FILE", default=None,
                          help="compare against a committed "
-                              "BENCH_perf.json; exit 1 on regression")
+                              "BENCH_perf.json; exit 1 on regression. "
+                              "The special value 'landscape' resolves "
+                              "the newest trusted run from the "
+                              "--landscape store instead of a file")
     bench_p.add_argument("--regression-tolerance", type=float, default=0.3,
                          help="allowed fractional speedup drop vs the "
                               "baseline (default 0.3)")
+    bench_p.add_argument("--landscape", metavar="DB", default=None,
+                         help="record this run (payload, provenance, "
+                              "one work row per section and grid cell) "
+                              "into this landscape store "
+                              "(docs/landscape.md)")
     _add_kernel_flag(bench_p)
     _add_supervision_flags(bench_p)
     bench_p.set_defaults(func=cmd_bench)
+
+    audit_p = sub.add_parser(
+        "audit",
+        help="verify the landscape's outcome ledger balances",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes: 0 ledger balanced (including after "
+               "heal-on-reopen of a crashed writer's store); 1 ledger "
+               "violations found (orphans, double commits, torn "
+               "rows); 2 store missing or unreadable (an unreadable "
+               "store is quarantined to <db>.corrupt)")
+    audit_p.add_argument("db", nargs="?", default="landscape.db",
+                         help="landscape store to audit "
+                              "(default: landscape.db)")
+    audit_p.add_argument("--readonly", action="store_true",
+                         help="audit without healing: a crashed "
+                              "writer's still-open run is reported as "
+                              "a violation instead of being healed")
+    audit_p.add_argument("--selftest", action="store_true",
+                         help="prove the audit catches seeded "
+                              "violations: mutate fixture ledgers "
+                              "(drop a terminal write, double-commit, "
+                              "tear a row, corrupt a page) and check "
+                              "each is caught; exit 1 on any miss")
+    audit_p.set_defaults(func=cmd_audit)
+
+    query_p = sub.add_parser(
+        "query",
+        help="regression trajectories across trusted bench runs",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes: 0 no regression between the two newest "
+               "trusted bench runs (fewer than two is trivially a "
+               "pass); 1 a section's speedup ratio fell more than "
+               "the tolerance; 2 store missing or unreadable")
+    query_p.add_argument("db", nargs="?", default="landscape.db",
+                         help="landscape store to read "
+                              "(default: landscape.db)")
+    query_p.add_argument("--tolerance", type=float, default=0.3,
+                         help="allowed fractional speedup drop between "
+                              "the two newest trusted runs "
+                              "(default 0.3)")
+    query_p.add_argument("--json", action="store_true",
+                         help="machine-readable trajectory report")
+    query_p.set_defaults(func=cmd_query)
 
     return parser
 

@@ -163,6 +163,20 @@ def _cell_record(cell: ChaosCell,
     }
 
 
+def _work_provenance(cell: ChaosCell, plan: FaultPlan,
+                     trace_digest: Optional[str],
+                     kernel: Optional[str]) -> Dict[str, object]:
+    """Ledger provenance columns for one chaos cell's work row."""
+    return {
+        "workload": cell.workload,
+        "variant": cell.variant,
+        "seed": cell.seed,
+        "fault_plan": plan.content_hash(),
+        "trace_digest": trace_digest,
+        "kernel": kernel,
+    }
+
+
 def _cell_from_record(record: Dict[str, object]) -> ChaosCell:
     """Reconstruct a journaled cell (outcome only, ``stats=None``)."""
     return ChaosCell(
@@ -325,6 +339,7 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
                  max_cells: Optional[int] = None,
                  trace_file: Optional[str] = None,
                  kernel: Optional[str] = None,
+                 recorder=None,
                  ) -> CampaignResult:
     """Sweep ``seeds`` x ``variants`` under one fault plan.
 
@@ -344,8 +359,17 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
     are byte-identical, so journal keys deliberately ignore it: a
     campaign interrupted under one kernel can resume under another
     and the merged cells still agree.
+
+    ``recorder`` (a :class:`~repro.landscape.store.RunRecorder`)
+    mirrors the campaign into the result landscape: each cell's work
+    row opens *before* it simulates and closes from the journal's own
+    write path (or directly when no journal is attached), so a
+    SIGKILL mid-cell leaves an open row for heal-on-reopen and the
+    landscape can never claim a cell the journal does not have.
     """
     plan = plan if plan is not None else default_plan()
+    if recorder is not None and journal is not None:
+        journal.recorder = recorder
     digest = None
     if trace_file is not None:
         from repro.traces.workload import trace_digest as _trace_digest
@@ -374,12 +398,24 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
                 bundle_path = record.get("bundle_path")
                 if bundle_path:
                     result.bundle_paths.append(bundle_path)
+                if recorder is not None:
+                    recorder.close_key(
+                        "chaos_cell", key,
+                        "ok" if cell.ok else "failed",
+                        detail="resumed from journal",
+                        **_work_provenance(cell, plan, digest, kernel))
                 if progress is not None:
                     progress(cell)
                 continue
             if max_cells is not None and executed >= max_cells:
                 result.interrupted = True
                 return result
+            if recorder is not None:
+                recorder.open(
+                    "chaos_cell", key,
+                    workload=workload, variant=resolve_variant(variant),
+                    seed=seed, fault_plan=plan.content_hash(),
+                    trace_digest=digest, kernel=kernel)
             cell = run_chaos_cell(
                 workload=workload, variant=variant, seed=seed, plan=plan,
                 scale=scale, quantum=quantum, cadence=cadence,
@@ -407,7 +443,12 @@ def run_campaign(workload: str = DEFAULT_WORKLOAD,
                 result.bundle_paths.append(bundle_path)
             executed += 1
             if journal is not None:
+                # The journal's write path mirrors the terminal
+                # outcome into the recorder (one source of truth).
                 journal.record(key, _cell_record(cell, bundle_path))
+            elif recorder is not None:
+                recorder.close_key("chaos_cell", key,
+                                   "ok" if cell.ok else "failed")
             if progress is not None:
                 progress(cell)
     return result

@@ -1,0 +1,151 @@
+"""The double-entry outcome audit.
+
+The schema deliberately does not make ledger violations impossible —
+a crash can always die between the debit (work opened) and the credit
+(terminal outcome).  This module is the enforcer: it walks the whole
+store and reports every way the books fail to balance:
+
+``orphan``
+    a work row with **zero** outcomes in a finished run — the credit
+    was lost (torn close, dropped write, a heal that never ran);
+``double_commit``
+    a work row with **two or more** outcomes — something closed the
+    same unit twice (the in-process guard was bypassed, or two
+    writers shared a store);
+``dangling_outcome``
+    an outcome whose work row does not exist — the debit side was
+    torn away;
+``dangling_work``
+    a work row whose run does not exist;
+``bad_outcome`` / ``bad_status`` / ``bad_kind``
+    values outside the closed vocabularies — a foreign or corrupted
+    writer;
+``unfinished_run``
+    a run still ``open`` in a store nobody is writing — the writer
+    died and heal-on-reopen has not run yet (opening the store
+    read-write heals it; read-only audits report it).
+
+A clean audit over a SIGKILLed-then-healed store is the acceptance
+bar: heal converts the crash into honest ``interrupted`` rows, after
+which every unit once again has exactly one terminal outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.landscape.schema import (
+    RUN_KINDS,
+    RUN_OPEN,
+    RUN_STATUSES,
+    TERMINAL_OUTCOMES,
+    WORK_KINDS,
+)
+from repro.landscape.store import LandscapeStore
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One ledger violation: what rule broke, where, and why."""
+
+    rule: str
+    table: str
+    row_id: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.table}#{self.row_id}: {self.detail}"
+
+
+def audit_store(store: LandscapeStore) -> List[AuditFinding]:
+    """Audit every run/work/outcome row; empty list means the books
+    balance."""
+    findings: List[AuditFinding] = []
+
+    run_ids = set()
+    for run in store.runs():
+        run_ids.add(run["id"])
+        if run["kind"] not in RUN_KINDS:
+            findings.append(AuditFinding(
+                "bad_kind", "runs", run["id"],
+                f"unknown run kind {run['kind']!r}"))
+        if run["status"] not in RUN_STATUSES:
+            findings.append(AuditFinding(
+                "bad_status", "runs", run["id"],
+                f"unknown run status {run['status']!r}"))
+        elif run["status"] == RUN_OPEN:
+            findings.append(AuditFinding(
+                "unfinished_run", "runs", run["id"],
+                "run is still open with no live writer (a read-write "
+                "reopen heals it to interrupted)"))
+        elif run["finished_unix"] is None:
+            findings.append(AuditFinding(
+                "bad_status", "runs", run["id"],
+                f"terminal status {run['status']!r} without a finish "
+                f"timestamp"))
+
+    outcome_counts: dict = {}
+    for outcome in store.outcome_rows():
+        outcome_counts.setdefault(outcome["work_id"], []).append(outcome)
+        if outcome["outcome"] not in TERMINAL_OUTCOMES:
+            findings.append(AuditFinding(
+                "bad_outcome", "outcomes", outcome["id"],
+                f"unknown terminal outcome {outcome['outcome']!r}"))
+
+    open_run_ids = {run["id"] for run in store.runs()
+                    if run["status"] == RUN_OPEN}
+    work_ids = set()
+    for work in store.work_rows():
+        work_ids.add(work["id"])
+        if work["kind"] not in WORK_KINDS:
+            findings.append(AuditFinding(
+                "bad_kind", "work", work["id"],
+                f"unknown work kind {work['kind']!r}"))
+        if work["run_id"] not in run_ids:
+            findings.append(AuditFinding(
+                "dangling_work", "work", work["id"],
+                f"references missing run {work['run_id']}"))
+        closes = outcome_counts.get(work["id"], [])
+        if len(closes) == 0 and work["run_id"] not in open_run_ids:
+            findings.append(AuditFinding(
+                "orphan", "work", work["id"],
+                f"{work['kind']} {work['key'][:40]!r} was dispatched "
+                f"but never reached a terminal outcome"))
+        elif len(closes) > 1:
+            findings.append(AuditFinding(
+                "double_commit", "work", work["id"],
+                f"{work['kind']} {work['key'][:40]!r} has "
+                f"{len(closes)} terminal outcomes: "
+                f"{[o['outcome'] for o in closes]}"))
+
+    for work_id, closes in outcome_counts.items():
+        if work_id not in work_ids:
+            for outcome in closes:
+                findings.append(AuditFinding(
+                    "dangling_outcome", "outcomes", outcome["id"],
+                    f"references missing work {work_id}"))
+
+    return findings
+
+
+def format_audit(store: LandscapeStore,
+                 findings: List[AuditFinding]) -> str:
+    """Human-readable audit report (the ``repro audit`` output)."""
+    runs = store.runs()
+    work = store.work_rows()
+    outcomes = store.outcome_rows()
+    healed = sum(1 for r in runs if r["healed"])
+    lines = [
+        f"landscape audit: {store.path}",
+        f"  runs={len(runs)} work={len(work)} outcomes={len(outcomes)} "
+        f"healed_runs={healed}",
+    ]
+    if findings:
+        lines.append(f"  LEDGER VIOLATIONS: {len(findings)}")
+        lines.extend(f"    {finding}" for finding in findings)
+    else:
+        lines.append(
+            "  ledger balanced: every dispatched unit reached exactly "
+            "one terminal outcome")
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Mutation self-test: prove the audit catches what it claims to.
+
+An audit that always says "balanced" is indistinguishable from one
+that works — until the day it matters.  This module is the
+fault-injection campaign turned on the auditor itself: build a known
+clean ledger, verify the audit passes, then seed one violation at a
+time **through raw sqlite** (bypassing every store-level guard, as a
+crash or a buggy writer would) and verify the audit fails loudly on
+each:
+
+* drop a terminal write        → ``orphan``
+* commit the same work twice   → ``double_commit``
+* tear away the debit side     → ``dangling_outcome``
+* corrupt bytes mid-file       → corrupt-db quarantine engages
+
+Run via ``repro audit --selftest``; CI runs it in the
+``landscape-smoke`` job.  A failing self-test means the auditor has
+gone blind — fix it before trusting any green audit.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Tuple
+
+from repro.landscape.audit import audit_store
+from repro.landscape.schema import (
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    RUN_GRID,
+    WORK_CELL,
+)
+from repro.landscape.store import LandscapeStore
+
+
+@dataclass(frozen=True)
+class SelfTestResult:
+    """One mutation's verdict: did the audit catch it?"""
+
+    name: str
+    caught: bool
+    detail: str
+
+
+def _build_fixture(path: Path) -> None:
+    """A small, known-balanced ledger: one finished grid run, three
+    closed cells (two ok, one failed)."""
+    with LandscapeStore(path) as store:
+        recorder = store.begin_run(RUN_GRID, label="selftest-fixture")
+        for index in range(3):
+            recorder.open(WORK_CELL, f"cell-{index}", workload="fixture",
+                          seed=index)
+        recorder.close_key(WORK_CELL, "cell-0", OUTCOME_OK)
+        recorder.close_key(WORK_CELL, "cell-1", OUTCOME_OK)
+        recorder.close_key(WORK_CELL, "cell-2", OUTCOME_FAILED,
+                           detail="seeded failure")
+        recorder.finish(OUTCOME_OK)
+
+
+def _raw(path: Path, sql: str) -> None:
+    """Mutate the database the way a buggy or foreign writer would:
+    straight SQL, no store guards."""
+    conn = sqlite3.connect(str(path))
+    try:
+        conn.execute(sql)
+        conn.commit()
+    finally:
+        conn.close()
+
+
+def _expect_finding(path: Path, rule: str) -> Tuple[bool, str]:
+    with LandscapeStore(path, readonly=True) as store:
+        findings = audit_store(store)
+    rules = sorted({finding.rule for finding in findings})
+    if rule in rules:
+        return True, f"audit reported {rules}"
+    return False, (f"audit MISSED the seeded {rule!r} violation "
+                   f"(reported: {rules or 'clean'})")
+
+
+def _mutate_drop_terminal(path: Path) -> Tuple[bool, str]:
+    _raw(path, "DELETE FROM outcomes WHERE id = "
+               "(SELECT MAX(id) FROM outcomes)")
+    return _expect_finding(path, "orphan")
+
+
+def _mutate_double_commit(path: Path) -> Tuple[bool, str]:
+    _raw(path, "INSERT INTO outcomes "
+               "(work_id, outcome, healed, closed_unix, detail) "
+               "SELECT work_id, 'ok', 0, closed_unix, 'duplicate' "
+               "FROM outcomes LIMIT 1")
+    return _expect_finding(path, "double_commit")
+
+
+def _mutate_tear_debit(path: Path) -> Tuple[bool, str]:
+    _raw(path, "DELETE FROM work WHERE id = (SELECT MIN(id) FROM work)")
+    return _expect_finding(path, "dangling_outcome")
+
+
+def _mutate_corrupt_page(path: Path) -> Tuple[bool, str]:
+    """Scribble over page 1's btree body (the ``sqlite_master``
+    schema page, past the 100-byte file header) so ``quick_check``
+    sees a malformed page; the read-write open must quarantine the
+    file and start fresh, never serve the garbage.  The file header
+    is left intact on purpose — a still-recognizably-sqlite file with
+    a torn page is the realistic partial-write shape, and the one
+    freelist-page corruption would *not* catch."""
+    blob = bytearray(path.read_bytes())
+    for offset in range(100, min(4096, len(blob))):
+        blob[offset] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with LandscapeStore(path) as store:
+        quarantined = store.quarantined
+        leftover_runs = len(store.runs())
+    sidecar = Path(str(path) + ".corrupt")
+    if quarantined == 1 and sidecar.exists() and leftover_runs == 0:
+        return True, "corrupt db quarantined, fresh store started"
+    return False, (f"quarantine failed: quarantined={quarantined} "
+                   f"sidecar={sidecar.exists()} runs={leftover_runs}")
+
+
+MUTATIONS: Tuple[Tuple[str, Callable[[Path], Tuple[bool, str]]], ...] = (
+    ("drop_terminal_write", _mutate_drop_terminal),
+    ("double_commit", _mutate_double_commit),
+    ("tear_debit_side", _mutate_tear_debit),
+    ("corrupt_page", _mutate_corrupt_page),
+)
+
+
+def run_selftest(scratch_dir) -> List[SelfTestResult]:
+    """Run every mutation against a fresh fixture copy in
+    ``scratch_dir``.  All-caught (including the clean-baseline check)
+    means the auditor still has teeth."""
+    scratch = Path(scratch_dir)
+    scratch.mkdir(parents=True, exist_ok=True)
+    fixture = scratch / "fixture.db"
+    _build_fixture(fixture)
+
+    results: List[SelfTestResult] = []
+    with LandscapeStore(fixture, readonly=True) as store:
+        findings = audit_store(store)
+    results.append(SelfTestResult(
+        "clean_baseline", not findings,
+        "clean fixture audits clean" if not findings
+        else f"clean fixture produced findings: {findings}"))
+
+    for name, mutate in MUTATIONS:
+        victim = scratch / f"{name}.db"
+        shutil.copyfile(fixture, victim)
+        caught, detail = mutate(victim)
+        results.append(SelfTestResult(name, caught, detail))
+    return results
+
+
+def format_selftest(results: List[SelfTestResult]) -> str:
+    lines = ["audit mutation self-test:"]
+    for result in results:
+        verdict = "caught" if result.caught else "MISSED"
+        lines.append(f"  [{verdict}] {result.name}: {result.detail}")
+    if all(result.caught for result in results):
+        lines.append("self-test passed: the audit catches every "
+                     "seeded violation")
+    else:
+        missed = [r.name for r in results if not r.caught]
+        lines.append(f"SELF-TEST FAILED: audit blind to {missed}")
+    return "\n".join(lines)

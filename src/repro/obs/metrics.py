@@ -41,6 +41,20 @@ PERF_RESILIENCE_COUNTERS: Tuple[str, ...] = (
     "perf.cache_corrupt",  # cache entries quarantined as unreadable
 )
 
+#: Canonical names of the result-landscape counters published by
+#: :class:`~repro.landscape.store.LandscapeStore` (docs/landscape.md).
+#: Pre-registered at zero when a store is constructed with a
+#: registry, so a run with a landscape attached always snapshots the
+#: full key set — "no heals" is distinguishable from "no landscape".
+LANDSCAPE_COUNTERS: Tuple[str, ...] = (
+    "landscape.runs",         # runs opened in the store
+    "landscape.work_opened",  # work rows opened (ledger debits)
+    "landscape.work_closed",  # terminal outcomes recorded (credits)
+    "landscape.events",       # non-terminal events recorded
+    "landscape.healed",       # runs healed to interrupted at reopen
+    "landscape.corrupt",      # databases quarantined as unreadable
+)
+
 
 class Counter:
     """Monotonically increasing count."""

@@ -133,7 +133,11 @@ from repro.workloads.trace import (
 #: and a new memory-heavy short-run trace — under a ``traces`` map;
 #: the headline ``speedup`` became compute-trace spec/interp and the
 #: section gained ``native`` plus per-backend telemetry snapshots.
-BENCH_SCHEMA = "repro-bench-perf/7"
+#: /8: dropped the volatile ``unix_time`` field.  Timestamps belong
+#: to the landscape run row (``--landscape``), not the committed
+#: artifact: regenerating BENCH_perf.json on an unchanged tree now
+#: diffs only in measured timings, never in when it was measured.
+BENCH_SCHEMA = "repro-bench-perf/8"
 
 #: Default output path, at the repo root like the other BENCH files.
 DEFAULT_OUT = "BENCH_perf.json"
@@ -234,7 +238,8 @@ def _grid_cells_payload(specs: Sequence[CellSpec], cells: Sequence[Cell],
 
 def run_grid(specs: Sequence[CellSpec], workers: int = 0,
              cache: Optional[ResultCache] = None,
-             supervisor: Optional[SupervisorConfig] = None):
+             supervisor: Optional[SupervisorConfig] = None,
+             recorder=None):
     """Run a grid through the runner.
 
     Returns ``(grid_payload, metrics_snapshot)``.  Under the
@@ -244,10 +249,13 @@ def run_grid(specs: Sequence[CellSpec], workers: int = 0,
     ``grid["report"]`` — ``repro bench`` surfaces it and exits
     nonzero.  ``fail_fast`` (the default) still propagates
     :class:`~repro.common.errors.IncompleteGridError`, with the pool
-    reaped either way.
+    reaped either way.  ``recorder`` threads a landscape
+    :class:`~repro.landscape.store.RunRecorder` through to the runner
+    so every cell becomes a ledger entry.
     """
     with ParallelRunner(workers=workers, cache=cache,
-                        supervisor=supervisor) as runner:
+                        supervisor=supervisor,
+                        recorder=recorder) as runner:
         start = time.perf_counter()
         try:
             cells = runner.run_cells(list(specs))
@@ -727,6 +735,36 @@ def load_bench(path: str) -> Dict:
     return json.loads(Path(path).read_text(encoding="utf-8"))
 
 
+def load_baseline(path: str):
+    """Leniently load a ``--baseline`` file: ``(payload, problem)``.
+
+    A baseline that is missing, unreadable, truncated, or not valid
+    JSON must never traceback a bench run — the fresh results are
+    still worth having.  Exactly one of the pair is None: a loadable
+    baseline returns ``(payload, None)``; anything else returns
+    ``(None, reason)`` for the CLI to warn with and skip the
+    comparison.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        return None, (f"baseline {path} unreadable "
+                      f"({type(exc).__name__}: {exc}); comparison skipped")
+    if not text.strip():
+        return None, (f"baseline {path} is empty (truncated write?); "
+                      f"comparison skipped")
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        return None, (f"baseline {path} is not valid JSON ({exc}); "
+                      f"comparison skipped")
+    if not isinstance(payload, dict):
+        return None, (f"baseline {path} holds "
+                      f"{type(payload).__name__}, not a bench payload "
+                      f"object; comparison skipped")
+    return payload, None
+
+
 def check_regression(fresh: Dict, baseline: Dict,
                      tolerance: float = 0.3) -> List[str]:
     """Compare microbenchmark speedups against a committed baseline.
@@ -860,13 +898,21 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
               traces: bool = True,
               kernel: Optional[str] = None,
               only: Optional[Sequence[str]] = None,
-              supervisor: Optional[SupervisorConfig] = None) -> Dict:
+              supervisor: Optional[SupervisorConfig] = None,
+              landscape: Optional[str] = None) -> Dict:
     """Run the harness and write ``BENCH_perf.json``; returns payload.
 
     ``only`` restricts the run to the named :data:`BENCH_SECTIONS`
     (repeatable on the CLI as ``--only SECTION``); every other
     section lands as ``null`` in the payload, which the baseline
     comparison reports as a warning, not an error.
+
+    ``landscape`` (a database path) records the whole run into the
+    result landscape: a ``bench`` run row carrying the full payload
+    and provenance (git rev, schema versions, kernel, seed), one work
+    row per section (plus one per grid cell via the runner), each
+    closed at its terminal outcome.  ``None`` (the default) keeps the
+    run byte-identical to a landscape-free build.
     """
     if only:
         unknown = sorted(set(only) - set(BENCH_SECTIONS))
@@ -888,86 +934,138 @@ def run_bench(out: str = DEFAULT_OUT, quick: bool = False,
                         workload_names=workload_names, variants=variants,
                         scale_factor=scale_factor, fast_path=fast_path,
                         traces=traces, kernel=kernel_name)
-    if grid_on:
-        cache = ResultCache(cache_dir) if cache_dir else None
-        grid, metrics = run_grid(specs, workers=workers, cache=cache,
-                                 supervisor=supervisor)
-    else:
-        grid, metrics = None, {}
-    mem_payload = None
-    if membench:
-        # Deliberately NOT scaled down under --quick: the whole run
-        # takes well under a second, and the filtered/unfiltered ratio
-        # grows with the repeat count, so a smaller quick-mode mix
-        # would sit too close to the --baseline tolerance.
-        mem_payload = _membench(rounds=micro_rounds)
-        metrics = dict(metrics)
-        metrics.update(
-            publish_fastpath(mem_payload["fastpath"]).snapshot()
-        )
-    kernel_payload = None
-    if kernelbench:
-        # Rounds follow faultbench's many-short-rounds reasoning: the
-        # median of paired ratios wants sample count on a noisy host.
-        kernel_payload = _kernelbench(seed=seed,
-                                      rounds=max(21, micro_rounds))
-        metrics = dict(metrics)
-        reg = None
-        for kname, snap in sorted(kernel_payload["kernel"].items()):
-            reg = publish_kernels(kname, snap, registry=reg)
-        if reg is not None:
-            metrics.update(reg.snapshot())
-    if grid is not None:
-        total_ops = sum(c.get("trace_ops", 0) for c in grid["cells"])
-        timed_walls = [c["wall_seconds"] for c in grid["cells"]
-                       if c.get("wall_seconds")]
-        totals = {
-            "cells": len(grid["cells"]),
-            "trace_ops": total_ops,
-            "wall_seconds": grid["wall_seconds"],
-            "sim_ops_per_sec": (total_ops / grid["wall_seconds"]
-                                if grid["wall_seconds"] else None),
-            "cell_wall_seconds_sum": sum(timed_walls),
+    store = None
+    recorder = None
+    if landscape is not None:
+        from repro.landscape.store import LandscapeStore, current_git_rev
+        from repro.perf.cache import CACHE_SCHEMA
+
+        store = LandscapeStore(landscape)
+        recorder = store.begin_run(
+            "bench", label=str(out), git_rev=current_git_rev(),
+            cache_schema=CACHE_SCHEMA, bench_schema=BENCH_SCHEMA,
+            kernel=kernel_name, seed=seed)
+
+    def section(name, fn):
+        """Ledger-wrap one section: opened at dispatch, closed at its
+        terminal outcome (a crash mid-section leaves the row open for
+        heal-on-reopen)."""
+        if recorder is None:
+            return fn()
+        recorder.open("bench_section", name, seed=seed,
+                      kernel=kernel_name)
+        try:
+            value = fn()
+        except BaseException as exc:
+            recorder.close_key("bench_section", name, "failed",
+                               detail=f"{type(exc).__name__}: {exc}")
+            raise
+        recorder.close_key("bench_section", name, "ok")
+        return value
+
+    try:
+        if grid_on:
+            cache = ResultCache(cache_dir) if cache_dir else None
+            grid, metrics = section("grid", lambda: run_grid(
+                specs, workers=workers, cache=cache,
+                supervisor=supervisor, recorder=recorder))
+        else:
+            grid, metrics = None, {}
+        mem_payload = None
+        if membench:
+            # Deliberately NOT scaled down under --quick: the whole run
+            # takes well under a second, and the filtered/unfiltered ratio
+            # grows with the repeat count, so a smaller quick-mode mix
+            # would sit too close to the --baseline tolerance.
+            mem_payload = section(
+                "membench", lambda: _membench(rounds=micro_rounds))
+            metrics = dict(metrics)
+            metrics.update(
+                publish_fastpath(mem_payload["fastpath"]).snapshot()
+            )
+        kernel_payload = None
+        if kernelbench:
+            # Rounds follow faultbench's many-short-rounds reasoning: the
+            # median of paired ratios wants sample count on a noisy host.
+            kernel_payload = section(
+                "kernelbench",
+                lambda: _kernelbench(seed=seed,
+                                     rounds=max(21, micro_rounds)))
+            metrics = dict(metrics)
+            reg = None
+            for kname, snap in sorted(kernel_payload["kernel"].items()):
+                reg = publish_kernels(kname, snap, registry=reg)
+            if reg is not None:
+                metrics.update(reg.snapshot())
+        if grid is not None:
+            total_ops = sum(c.get("trace_ops", 0) for c in grid["cells"])
+            timed_walls = [c["wall_seconds"] for c in grid["cells"]
+                           if c.get("wall_seconds")]
+            totals = {
+                "cells": len(grid["cells"]),
+                "trace_ops": total_ops,
+                "wall_seconds": grid["wall_seconds"],
+                "sim_ops_per_sec": (total_ops / grid["wall_seconds"]
+                                    if grid["wall_seconds"] else None),
+                "cell_wall_seconds_sum": sum(timed_walls),
+            }
+            scales = {c["workload"]: c["scale"] for c in grid["cells"]}
+        else:
+            totals = None
+            scales = None
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "python": platform.python_version(),
+            "config": {
+                "seed": seed,
+                "workers": workers,
+                "quick": quick,
+                "fast_path": fast_path,
+                "kernel": kernel_name,
+                "cache_dir": cache_dir,
+                "scales": scales,
+                "traces": sorted({s.workload.name for s in specs
+                                  if isinstance(s.workload,
+                                                TraceWorkloadSpec)}),
+            },
+            "grid": grid,
+            "totals": totals,
+            "microbench": (section(
+                "microbench",
+                lambda: microbench(seed=seed, rounds=micro_rounds,
+                                   scale=0.5 if quick else 1.0))
+                if micro else None),
+            "membench": mem_payload,
+            # Not scaled down under --quick either: best-of-rounds on the
+            # full trace is what keeps the 2% CI assertion noise-proof.
+            "faultbench": (section(
+                "faultbench",
+                lambda: _faultbench(seed=seed,
+                                    rounds=max(41, micro_rounds)))
+                if faultbench else None),
+            "kernelbench": kernel_payload,
+            "parallel": (compare_serial_parallel(specs, workers)
+                         if compare_serial and workers > 1 and grid_on
+                         else None),
+            "metrics": metrics,
         }
-        scales = {c["workload"]: c["scale"] for c in grid["cells"]}
-    else:
-        totals = None
-        scales = None
-    payload = {
-        "schema": BENCH_SCHEMA,
-        "unix_time": int(time.time()),
-        "python": platform.python_version(),
-        "config": {
-            "seed": seed,
-            "workers": workers,
-            "quick": quick,
-            "fast_path": fast_path,
-            "kernel": kernel_name,
-            "cache_dir": cache_dir,
-            "scales": scales,
-            "traces": sorted({s.workload.name for s in specs
-                              if isinstance(s.workload,
-                                            TraceWorkloadSpec)}),
-        },
-        "grid": grid,
-        "totals": totals,
-        "microbench": (microbench(seed=seed, rounds=micro_rounds,
-                                  scale=0.5 if quick else 1.0)
-                       if micro else None),
-        "membench": mem_payload,
-        # Not scaled down under --quick either: best-of-rounds on the
-        # full trace is what keeps the 2% CI assertion noise-proof.
-        "faultbench": (_faultbench(seed=seed,
-                                   rounds=max(41, micro_rounds))
-                       if faultbench else None),
-        "kernelbench": kernel_payload,
-        "parallel": (compare_serial_parallel(specs, workers)
-                     if compare_serial and workers > 1 and grid_on
-                     else None),
-        "metrics": metrics,
-    }
-    Path(out).write_text(json.dumps(payload, indent=2) + "\n",
-                         encoding="utf-8")
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n",
+                             encoding="utf-8")
+    except (KeyboardInterrupt, SystemExit):
+        if recorder is not None:
+            recorder.finish("interrupted")
+            store.close()
+        raise
+    except BaseException:
+        if recorder is not None:
+            recorder.finish("failed")
+            store.close()
+        raise
+    if recorder is not None:
+        failed = bool(((grid or {}).get("report") or {}).get("failed"))
+        recorder.finish("failed" if failed else "ok",
+                        metrics_snapshot=metrics, payload=payload)
+        store.close()
     return payload
 
 

@@ -102,9 +102,16 @@ class ResultCache:
     either way.
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None, metrics=None):
+    def __init__(self, root: Optional[os.PathLike] = None, metrics=None,
+                 recorder=None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.metrics = metrics
+        #: Optional :class:`~repro.landscape.store.RunRecorder`: when
+        #: set, every quarantine is also recorded as a non-terminal
+        #: ``cache_quarantine`` event in the result landscape.  A
+        #: :class:`~repro.perf.runner.ParallelRunner` attaches its own
+        #: recorder automatically, like ``metrics``.
+        self.recorder = recorder
         #: Corrupt entries quarantined by this instance.
         self.quarantined = 0
 
@@ -134,6 +141,10 @@ class ResultCache:
         self.quarantined += 1
         if self.metrics is not None:
             self.metrics.counter("perf.cache_corrupt").inc()
+        if self.recorder is not None:
+            self.recorder.event("cache_quarantine",
+                                f"unreadable entry moved to "
+                                f"{path.name}.corrupt")
         try:
             os.replace(path, Path(str(path) + ".corrupt"))
         except OSError:

@@ -41,6 +41,7 @@ completion order, or retry history (asserted by
 
 from __future__ import annotations
 
+import hashlib
 import os
 import signal as _signal
 import time
@@ -167,6 +168,29 @@ def grid_specs(workloads: Iterable[Union[SyntheticTxnWorkload,
     ]
 
 
+def _work_provenance(spec: CellSpec) -> Dict[str, object]:
+    """Ledger provenance columns for one cell's landscape work row.
+
+    ``fault_plan`` hashes the canonical plan JSON exactly as
+    :meth:`~repro.faults.plan.FaultPlan.content_hash` does, without
+    re-parsing the plan the spec already carries in canonical form.
+    """
+    plan_hash = None
+    if spec.faults is not None:
+        plan_hash = hashlib.sha256(
+            spec.faults.encode("utf-8")).hexdigest()[:16]
+    digest = spec.workload.digest \
+        if isinstance(spec.workload, TraceWorkloadSpec) else None
+    return {
+        "workload": spec.workload.name,
+        "variant": spec.variant,
+        "seed": spec.seed,
+        "fault_plan": plan_hash,
+        "trace_digest": digest,
+        "kernel": spec.kernel,
+    }
+
+
 def _simulate(spec: CellSpec) -> Tuple[Cell, float]:
     """Worker body: run one cell, returning (cell, wall_seconds)."""
     start = perf_counter()
@@ -188,7 +212,7 @@ class _Attempt:
     """Supervision bookkeeping for one not-yet-finished cell."""
 
     __slots__ = ("index", "spec", "key", "attempts", "not_before",
-                 "deadline")
+                 "deadline", "work_id")
 
     def __init__(self, index: int, spec: CellSpec, key: Optional[str]):
         self.index = index
@@ -197,6 +221,7 @@ class _Attempt:
         self.attempts = 0       # finished attempts (all failed)
         self.not_before = 0.0   # monotonic time gating resubmission
         self.deadline = None    # monotonic per-attempt timeout
+        self.work_id = None     # landscape ledger row, if recording
 
     def token(self) -> str:
         """Stable identity for deterministic backoff jitter."""
@@ -232,7 +257,7 @@ class ParallelRunner:
                  cache: Optional[ResultCache] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  supervisor: Optional[SupervisorConfig] = None,
-                 simulate=None):
+                 simulate=None, recorder=None):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
@@ -244,8 +269,18 @@ class ParallelRunner:
         self.supervisor = supervisor if supervisor is not None \
             else SupervisorConfig()
         self._simulate_fn = simulate
+        #: Optional :class:`~repro.landscape.store.RunRecorder`: when
+        #: set, every cell becomes a ledger entry — opened at
+        #: dispatch, closed at its terminal outcome, with
+        #: retries/timeouts/worker deaths as non-terminal events.
+        #: ``None`` (the default) keeps the runner byte-identical to
+        #: a landscape-free build.
+        self.recorder = recorder
         if cache is not None and cache.metrics is None:
             cache.metrics = self.metrics
+        if cache is not None and recorder is not None \
+                and cache.recorder is None:
+            cache.recorder = recorder
         #: Wall seconds per cell of the most recent :meth:`run_cells`
         #: call (None where the cache answered); for bench harnesses.
         self.last_wall_seconds: List[Optional[float]] = []
@@ -274,16 +309,26 @@ class ParallelRunner:
         pending: List[_Attempt] = []
         for index, spec in enumerate(specs):
             key = None
-            if self.cache is not None:
+            if self.cache is not None or self.recorder is not None:
                 key = cell_key(spec)
+            work_id = None
+            if self.recorder is not None:
+                work_id = self.recorder.open(
+                    "cell", key, **_work_provenance(spec))
+            if self.cache is not None:
                 hit = self.cache.get(key)
                 if hit is not None:
                     self.metrics.counter("perf.cache_hits").inc()
                     results[index] = hit
                     report.completed += 1
+                    if work_id is not None:
+                        self.recorder.close(work_id, "ok",
+                                            detail="served from cache")
                     continue
                 self.metrics.counter("perf.cache_misses").inc()
-            pending.append(_Attempt(index, spec, key))
+            task = _Attempt(index, spec, key)
+            task.work_id = work_id
+            pending.append(task)
         if pending:
             if self.workers > 1:
                 self._run_pooled(pending, results, walls, report)
@@ -317,10 +362,21 @@ class ParallelRunner:
         if task.attempts <= sup.retries:
             report.retries += 1
             self.metrics.counter("perf.retries").inc()
+            if task.work_id is not None:
+                self.recorder.event(
+                    "retry",
+                    f"attempt {task.attempts} {fate}: "
+                    f"{type(exc).__name__}: {exc}",
+                    key=("cell", task.key))
             task.not_before = time.monotonic() + sup.backoff_delay(
                 task.token(), task.attempts)
             queue.append(task)
             return
+        if task.work_id is not None:
+            self.recorder.close(
+                task.work_id, "failed",
+                detail=f"{fate} after {task.attempts} attempts: "
+                       f"{type(exc).__name__}: {exc}")
         report.failed.append(CellFailure(
             index=task.index,
             workload=task.spec.workload.name,
@@ -357,7 +413,8 @@ class ParallelRunner:
                                      report, results)
             else:
                 self._finish(task.index, task.spec, task.key, cell,
-                             wall, results, walls, report)
+                             wall, results, walls, report,
+                             work_id=task.work_id)
 
     def _run_pooled(self, queue: List[_Attempt], results, walls,
                     report: RunReport) -> None:
@@ -418,7 +475,8 @@ class ParallelRunner:
                                          report, results)
                 else:
                     self._finish(task.index, task.spec, task.key, cell,
-                                 wall, results, walls, report)
+                                 wall, results, walls, report,
+                                 work_id=task.work_id)
             if broke:
                 self._survive_pool_break(queue, running, report, results)
                 continue
@@ -456,6 +514,13 @@ class ParallelRunner:
             return
         report.timeouts += len(overdue)
         self.metrics.counter("perf.timeouts").inc(len(overdue))
+        if self.recorder is not None:
+            for _future, task in overdue:
+                self.recorder.event(
+                    "timeout",
+                    f"cell exceeded its {self.supervisor.timeout:g}s "
+                    f"budget; workers killed",
+                    key=("cell", task.key))
         for future, task in overdue:
             del running[future]
         for future, task in list(running.items()):
@@ -484,6 +549,11 @@ class ParallelRunner:
         """
         report.worker_deaths += 1
         self.metrics.counter("perf.worker_deaths").inc()
+        if self.recorder is not None:
+            self.recorder.event(
+                "worker_death",
+                f"worker pool broke (death {report.worker_deaths}); "
+                f"{len(running)} in-flight cells requeued")
         for task in running.values():
             task.not_before = 0.0
             queue.append(task)
@@ -507,7 +577,8 @@ class ParallelRunner:
         queue.clear()
 
     def _finish(self, index, spec, key, cell, wall, results, walls,
-                report: Optional[RunReport] = None) -> None:
+                report: Optional[RunReport] = None,
+                work_id=None) -> None:
         self.metrics.counter("perf.simulated").inc()
         results[index] = cell
         walls[index] = wall
@@ -515,6 +586,8 @@ class ParallelRunner:
             report.completed += 1
         if self.cache is not None and key is not None:
             self.cache.put(key, cell, sidecar=spec.payload())
+        if work_id is not None:
+            self.recorder.close(work_id, "ok", detail="simulated")
 
     # ------------------------------------------------------------------
 

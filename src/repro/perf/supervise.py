@@ -234,10 +234,17 @@ class CampaignJournal:
     and extend it.
     """
 
-    def __init__(self, path: os.PathLike, resume: bool = False):
+    def __init__(self, path: os.PathLike, resume: bool = False,
+                 recorder=None):
         self.path = Path(path)
         self._entries: Dict[str, Dict[str, object]] = {}
         self.torn_lines = 0
+        #: Optional :class:`~repro.landscape.store.RunRecorder`.  When
+        #: set, every journaled cell's terminal outcome is mirrored
+        #: into the landscape *from this one write path*, so
+        #: ``--resume`` (which trusts the journal) and the landscape
+        #: can never disagree about which cells finished.
+        self.recorder = recorder
         if self.path.exists():
             self._load()
             if self._entries and not resume:
@@ -282,6 +289,15 @@ class CampaignJournal:
         self._fh.write(json.dumps({"key": key, **payload},
                                   sort_keys=True) + "\n")
         self.flush()
+        if self.recorder is not None:
+            # Journal line first, ledger row second: a kill between
+            # the two leaves an open work row for heal-on-reopen, never
+            # a ledger entry the journal cannot back.  Outcome strings
+            # match repro.landscape.schema (imported lazily at the call
+            # sites; this module stays landscape-free).
+            outcome = "ok" if payload.get("ok", True) else "failed"
+            self.recorder.close_key("chaos_cell", key, outcome,
+                                    detail="journaled")
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
         return self._entries.get(key)

@@ -1,0 +1,95 @@
+"""The double-entry audit: every way the books can fail to balance
+is detectable (and a balanced ledger audits clean)."""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.landscape import LandscapeStore, audit_store, format_audit
+
+
+def _store_with_run(tmp_path):
+    db = tmp_path / "landscape.db"
+    with LandscapeStore(db) as store:
+        rec = store.begin_run("grid", label="fixture")
+        rec.close_key("cell", "cell-a", "ok", detail="simulated")
+        rec.close_key("cell", "cell-b", "failed", detail="raised")
+        rec.finish("ok")
+    return db
+
+
+def _mutate(db, sql):
+    conn = sqlite3.connect(db)
+    conn.execute(sql)
+    conn.commit()
+    conn.close()
+
+
+def _rules(db):
+    with LandscapeStore(db, readonly=True) as store:
+        return sorted({f.rule for f in audit_store(store)})
+
+
+def test_balanced_ledger_audits_clean(tmp_path):
+    db = _store_with_run(tmp_path)
+    with LandscapeStore(db, readonly=True) as store:
+        findings = audit_store(store)
+        assert findings == []
+        assert "ledger balanced" in format_audit(store, findings)
+
+
+def test_orphan_detected(tmp_path):
+    """The credit side was lost: work dispatched, no outcome row."""
+    db = _store_with_run(tmp_path)
+    _mutate(db, "DELETE FROM outcomes WHERE id = "
+                "(SELECT MAX(id) FROM outcomes)")
+    assert _rules(db) == ["orphan"]
+
+
+def test_double_commit_detected(tmp_path):
+    db = _store_with_run(tmp_path)
+    _mutate(db, "INSERT INTO outcomes "
+                "(work_id, outcome, closed_unix) "
+                "SELECT work_id, 'ok', closed_unix FROM outcomes "
+                "WHERE id = (SELECT MIN(id) FROM outcomes)")
+    assert _rules(db) == ["double_commit"]
+
+
+def test_dangling_outcome_detected(tmp_path):
+    """The debit side was torn away: outcome without its work row."""
+    db = _store_with_run(tmp_path)
+    _mutate(db, "DELETE FROM work WHERE id = "
+                "(SELECT MIN(id) FROM work)")
+    assert _rules(db) == ["dangling_outcome"]
+
+
+def test_dangling_work_detected(tmp_path):
+    db = _store_with_run(tmp_path)
+    _mutate(db, "DELETE FROM runs")
+    assert "dangling_work" in _rules(db)
+
+
+def test_foreign_vocabulary_detected(tmp_path):
+    db = _store_with_run(tmp_path)
+    _mutate(db, "UPDATE outcomes SET outcome = 'shrugged' WHERE id = "
+                "(SELECT MIN(id) FROM outcomes)")
+    assert "bad_outcome" in _rules(db)
+
+
+def test_unfinished_run_reported_readonly(tmp_path):
+    """Read-only audits report a dead writer's open run instead of
+    healing it (reporting is all a read-only connection may do)."""
+    db = tmp_path / "landscape.db"
+    store = LandscapeStore(db)
+    store.begin_run("chaos").open("chaos_cell", "mid-flight")
+    store.close()  # dead writer: no finish
+    assert _rules(db) == ["unfinished_run"]
+    # A read-write reopen heals; the next audit is clean.
+    LandscapeStore(db).close()
+    assert _rules(db) == []
+
+
+def test_terminal_status_without_finish_timestamp(tmp_path):
+    db = _store_with_run(tmp_path)
+    _mutate(db, "UPDATE runs SET finished_unix = NULL")
+    assert "bad_status" in _rules(db)

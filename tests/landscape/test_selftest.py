@@ -1,0 +1,20 @@
+"""The audit's mutation self-test: proof the auditor has teeth."""
+
+from __future__ import annotations
+
+from repro.landscape import format_selftest, run_selftest
+
+
+def test_selftest_catches_every_seeded_violation(tmp_path):
+    results = run_selftest(tmp_path)
+    assert all(r.caught for r in results), format_selftest(results)
+    names = {r.name for r in results}
+    # Every mutation family the ledger can suffer is represented.
+    assert {"clean_baseline", "drop_terminal_write", "double_commit",
+            "tear_debit_side", "corrupt_page"} <= names
+
+
+def test_selftest_report_format(tmp_path):
+    text = format_selftest(run_selftest(tmp_path))
+    assert "self-test passed" in text
+    assert "[caught]" in text and "MISSED" not in text

@@ -248,6 +248,68 @@ def test_kernel_mem_trace_is_conflict_free_and_short_compute():
     assert 0 < best < LONG_COMPUTE_RUN
 
 
+def test_bench_payload_has_no_wall_clock_identity(tmp_path):
+    """Schema /8 dropped ``unix_time``: the committed artifact must
+    not churn on every regeneration just because time passed.  Run
+    timestamps belong to the landscape's run row, not the payload
+    (docs/performance.md)."""
+    payload = run_bench(
+        out=str(tmp_path / "b.json"), quick=True, only=["membench"],
+        micro_rounds=1,
+    )
+    assert "unix_time" not in payload
+    assert payload["schema"] == BENCH_SCHEMA == "repro-bench-perf/8"
+
+
+def test_load_baseline_missing_file_is_soft(tmp_path):
+    from repro.perf.bench import load_baseline
+
+    payload, problem = load_baseline(str(tmp_path / "nope.json"))
+    assert payload is None
+    assert "unreadable" in problem and "comparison skipped" in problem
+
+
+def test_load_baseline_truncated_file_is_soft(tmp_path):
+    from repro.perf.bench import load_baseline
+
+    path = tmp_path / "empty.json"
+    path.write_text("")
+    payload, problem = load_baseline(str(path))
+    assert payload is None
+    assert "truncated" in problem and "comparison skipped" in problem
+
+
+def test_load_baseline_invalid_json_is_soft(tmp_path):
+    from repro.perf.bench import load_baseline
+
+    path = tmp_path / "bad.json"
+    path.write_text('{"schema": "repro-bench-perf/8", "microbench"')
+    payload, problem = load_baseline(str(path))
+    assert payload is None
+    assert "not valid JSON" in problem
+
+
+def test_load_baseline_non_object_is_soft(tmp_path):
+    from repro.perf.bench import load_baseline
+
+    path = tmp_path / "list.json"
+    path.write_text("[1, 2, 3]")
+    payload, problem = load_baseline(str(path))
+    assert payload is None
+    assert "not a bench payload object" in problem
+
+
+def test_load_baseline_good_file_round_trips(tmp_path):
+    from repro.perf.bench import load_baseline
+
+    base = {"schema": BENCH_SCHEMA, "microbench": {"speedup": 2.0}}
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps(base))
+    payload, problem = load_baseline(str(path))
+    assert problem is None
+    assert payload == base
+
+
 def test_check_regression_compares_ratios(tmp_path):
     base = {"microbench": {"speedup": 2.0}, "membench": {"speedup": 1.6}}
     ok = {"microbench": {"speedup": 1.8}, "membench": {"speedup": 1.5}}

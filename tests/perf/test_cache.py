@@ -118,6 +118,88 @@ def test_cache_stale_class_layout_reads_as_miss(tmp_path):
     assert (path.parent / f"{key}.pkl.corrupt").exists()
 
 
+def test_concurrent_readers_quarantine_once(tmp_path):
+    """Two readers sharing one cache root race onto the same corrupt
+    entry: both read it as a miss, exactly one ``.pkl.corrupt``
+    sidecar survives, and every detection is counted.
+
+    Ordering A (sequential): the second reader arrives after the
+    first already moved the entry aside — it sees a plain
+    FileNotFoundError miss and quarantines nothing."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    a = ResultCache(tmp_path, metrics=registry)
+    b = ResultCache(tmp_path, metrics=registry)
+    key = cell_key(_spec())
+    a.put(key, {"makespan": 1})
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.write_bytes(b"not a pickle")
+
+    assert a.get(key) is None
+    assert b.get(key) is None
+    assert a.quarantined == 1 and b.quarantined == 0
+    assert registry.counter("perf.cache_corrupt").value == 1
+    corrupt = list(tmp_path.glob("*/*.pkl.corrupt"))
+    assert len(corrupt) == 1
+    assert not path.exists()
+
+
+def test_concurrent_readers_quarantine_race_is_harmless(tmp_path):
+    """Ordering B (simultaneous): both readers opened the corrupt
+    bytes before either moved them, so both detect corruption and
+    both attempt the ``os.replace`` — the loser's rename fails
+    silently.  Still exactly one ``.pkl.corrupt``, no crash, and the
+    shared counter records both detections."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    a = ResultCache(tmp_path, metrics=registry)
+    b = ResultCache(tmp_path, metrics=registry)
+    key = cell_key(_spec())
+    a.put(key, {"makespan": 1})
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.write_bytes(b"not a pickle")
+
+    # Deterministic replay of the interleaving: reader A detects and
+    # quarantines first; reader B, which had already read the same
+    # bad bytes, then runs its own quarantine against the now-moved
+    # path.
+    assert a.get(key) is None
+    b._quarantine(path)
+    assert b.get(key) is None  # the slot now reads as a plain miss
+
+    assert a.quarantined == 1 and b.quarantined == 1
+    assert registry.counter("perf.cache_corrupt").value == 2
+    corrupt = list(tmp_path.glob("*/*.pkl.corrupt"))
+    assert len(corrupt) == 1, "the loser's rename must not duplicate"
+    assert corrupt[0].read_bytes() == b"not a pickle"
+
+    # Either reader's re-simulated put reclaims the slot cleanly.
+    b.put(key, {"makespan": 2})
+    assert a.get(key) == {"makespan": 2}
+
+
+def test_cache_quarantine_reports_to_landscape_recorder(tmp_path):
+    """A cache wired with a landscape recorder reports each
+    quarantine as a non-terminal ``cache_quarantine`` event."""
+    events = []
+
+    class _Recorder:
+        def event(self, kind, detail, key=None):
+            events.append((kind, detail))
+
+    cache = ResultCache(tmp_path, recorder=_Recorder())
+    key = cell_key(_spec())
+    cache.put(key, {"makespan": 1})
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.write_bytes(b"garbage")
+    assert cache.get(key) is None
+    assert events == [
+        ("cache_quarantine",
+         f"unreadable entry moved to {key}.pkl.corrupt")]
+
+
 def test_runner_resimulates_quarantined_cell(tmp_path, tiny_workload):
     """End to end: a corrupted entry under a runner re-simulates,
     yields the same result, and publishes perf.cache_corrupt."""

@@ -155,3 +155,41 @@ class TestTraceCommands:
     def test_trace_requires_workload_or_validate(self):
         with pytest.raises(SystemExit):
             main(["trace"])
+
+
+class TestBenchBaseline:
+    """``--baseline`` problems warn and skip — never traceback.
+
+    One bench invocation per failure mode, kept cheap with
+    ``--only membench``; the fresh results must still land and the
+    exit code must stay 0 (satellite of docs/robustness.md's exit-code
+    contract)."""
+
+    def _bench(self, tmp_path, baseline):
+        return main(["bench", "--quick", "--only", "membench",
+                     "--out", str(tmp_path / "fresh.json"),
+                     "--baseline", str(baseline)])
+
+    def test_missing_baseline_warns_and_skips(self, tmp_path, capsys):
+        assert self._bench(tmp_path, tmp_path / "nope.json") == 0
+        captured = capsys.readouterr()
+        assert "comparison skipped" in captured.err
+        assert "unreadable" in captured.err
+        assert (tmp_path / "fresh.json").exists()
+
+    def test_truncated_baseline_warns_and_skips(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert self._bench(tmp_path, empty) == 0
+        captured = capsys.readouterr()
+        assert "truncated" in captured.err
+        assert "comparison skipped" in captured.err
+
+    def test_invalid_json_baseline_warns_and_skips(self, tmp_path,
+                                                   capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro-bench-perf/8", ')
+        assert self._bench(tmp_path, bad) == 0
+        captured = capsys.readouterr()
+        assert "not valid JSON" in captured.err
+        assert "comparison skipped" in captured.err
